@@ -1,0 +1,149 @@
+// Command drdp-bench regenerates the evaluation suite: every table and
+// figure documented in EXPERIMENTS.md, at full workload size (use -fast
+// for the reduced smoke workload the Go benchmarks run).
+//
+// Usage:
+//
+//	drdp-bench                     # run everything, print to stdout
+//	drdp-bench -only table1,fig3   # a subset
+//	drdp-bench -csv out/           # also write CSV files per experiment
+//	drdp-bench -reps 5 -seed 7     # more repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/drdp/drdp/internal/experiment"
+)
+
+// job names one experiment; exactly one of table/fig is set.
+type job struct {
+	id    string
+	table func(experiment.RunConfig) (*experiment.Table, error)
+	fig   func(experiment.RunConfig) (*experiment.Series, error)
+}
+
+var jobs = []job{
+	{id: "table1", table: experiment.Table1SampleEfficiency},
+	{id: "table2", table: experiment.Table2ShiftRobustness},
+	{id: "table3", table: experiment.Table3Digits},
+	{id: "table4", table: experiment.Table4SystemsCost},
+	{id: "fig1", fig: experiment.Figure1RadiusSweep},
+	{id: "fig2", fig: experiment.Figure2AlphaSweep},
+	{id: "fig3", fig: experiment.Figure3Convergence},
+	{id: "fig4", fig: experiment.Figure4CloudTasks},
+	{id: "fig5", fig: experiment.Figure5SetAblation},
+	{id: "fig6", fig: experiment.Figure6MultiDevice},
+	{id: "table5", table: experiment.Table5PriorFitAblation},
+	{id: "table6", table: experiment.Table6StochasticMStep},
+	{id: "fig7", fig: experiment.Figure7FedAvgComparison},
+	{id: "fig8", fig: experiment.Figure8OnlineLearning},
+	{id: "fig9", fig: experiment.Figure9CertificateValidity},
+	{id: "table7", table: experiment.Table7Calibration},
+	{id: "table8", table: experiment.Table8SolverAblation},
+	{id: "table9", table: experiment.Table9Deployment},
+	{id: "fig10", fig: experiment.Figure10Compression},
+	{id: "fig11", fig: experiment.Figure11DriftTracking},
+	{id: "fig12", fig: experiment.Figure12GroundMetric},
+	{id: "table10", table: experiment.Table10Imbalance},
+	{id: "table11", table: experiment.Table11AlphaSelection},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drdp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
+		csvDir = flag.String("csv", "", "directory for CSV output (created if missing)")
+		reps   = flag.Int("reps", 3, "repetitions (seeds) per configuration")
+		seed   = flag.Int64("seed", 1, "base seed")
+		fast   = flag.Bool("fast", false, "reduced workload (what `go test -bench` uses)")
+	)
+	flag.Parse()
+
+	cfg := experiment.RunConfig{Reps: *reps, Seed: *seed, Fast: *fast}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if !knownID(id) {
+				return fmt.Errorf("unknown experiment id %q", id)
+			}
+			selected[id] = true
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	for _, j := range jobs {
+		if len(selected) > 0 && !selected[j.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := runJob(j, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return fmt.Errorf("%s: render: %w", j.id, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", j.id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(tab, filepath.Join(*csvDir, j.id+".csv")); err != nil {
+				return fmt.Errorf("%s: %w", j.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+func runJob(j job, cfg experiment.RunConfig) (*experiment.Table, error) {
+	if j.table != nil {
+		return j.table(cfg)
+	}
+	ser, err := j.fig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ser.Table(), nil
+}
+
+func writeCSV(tab *experiment.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	werr := tab.WriteCSV(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("write csv: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("close csv: %w", cerr)
+	}
+	return nil
+}
+
+func knownID(id string) bool {
+	for _, j := range jobs {
+		if j.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Command drdp-cloud runs the cloud prior server: it accumulates task
+// posteriors reported by edge devices and serves the Dirichlet-process
+// prior built from them over TCP.
+//
+// Usage:
+//
+//	drdp-cloud -addr :7600 -alpha 1
+//	drdp-cloud -addr :7600 -seed-tasks 8 -dim 20   # pre-warm with synthetic tasks
+//
+// Pre-warming simulates a cloud that already solved a family of tasks,
+// so fresh edges get a useful prior immediately (otherwise the first
+// devices train locally and report back, bootstrapping the prior).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/drdp/drdp/internal/baseline"
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/stat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drdp-cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7600", "listen address")
+		alpha     = flag.Float64("alpha", 1, "DP concentration")
+		trunc     = flag.Int("trunc", 0, "prior component truncation (0 = none)")
+		seedTasks = flag.Int("seed-tasks", 0, "pre-warm with this many synthetic cloud tasks")
+		dim       = flag.Int("dim", 20, "feature dimensionality of synthetic seed tasks")
+		clusters  = flag.Int("clusters", 4, "task-family clusters for seed tasks")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "drdp-cloud: ", log.LstdFlags)
+
+	var seedPosteriors []dpprior.TaskPosterior
+	if *seedTasks > 0 {
+		logger.Printf("pre-warming with %d synthetic tasks (dim=%d, clusters=%d)",
+			*seedTasks, *dim, *clusters)
+		var err error
+		seedPosteriors, err = synthesizeTasks(*seedTasks, *dim, *clusters, *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := edge.NewCloudServer(seedPosteriors, dpprior.BuildOptions{
+		Alpha:         *alpha,
+		MaxComponents: *trunc,
+		Seed:          *seed,
+	}, logger)
+	if err != nil {
+		return err
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		logger.Printf("serving on %s", <-addrCh)
+	}()
+	return srv.ListenAndServe(*addr, addrCh)
+}
+
+// synthesizeTasks trains ERM models on draws from a synthetic task family
+// and summarizes them with Laplace posteriors.
+func synthesizeTasks(k, dim, clusters int, seed int64) ([]dpprior.TaskPosterior, error) {
+	rng := stat.NewRNG(seed)
+	family, err := data.NewTaskFamily(rng, dim, clusters, 4, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	m := model.Logistic{Dim: dim}
+	out := make([]dpprior.TaskPosterior, 0, k)
+	for i, task := range family.CloudTasks(rng, k) {
+		ds := task.Sample(rng, 400)
+		params, err := (baseline.Ridge{Model: m, Lambda: 1e-3}).Train(ds.X, ds.Y)
+		if err != nil {
+			return nil, fmt.Errorf("train seed task %d: %w", i, err)
+		}
+		cov, err := model.LaplacePosterior(m, params, ds.X, ds.Y, 1e-3)
+		if err != nil {
+			return nil, fmt.Errorf("seed task %d posterior: %w", i, err)
+		}
+		out = append(out, dpprior.TaskPosterior{Mu: params, Sigma: cov, N: ds.Len()})
+	}
+	return out, nil
+}

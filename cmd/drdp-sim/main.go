@@ -1,0 +1,109 @@
+// Command drdp-sim runs the discrete-event fleet deployment simulator:
+// a configurable mix of pioneer (data-rich, reporting) and late
+// (data-poor) edge devices sharing one cloud over a chosen link profile.
+//
+// Usage:
+//
+//	drdp-sim                                   # defaults: 4+8 over wifi
+//	drdp-sim -link 3g -pioneers 6 -late 12 -rebuild-every 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/sim"
+	"github.com/drdp/drdp/internal/stat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drdp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		linkName     = flag.String("link", "wifi", "uplink profile: wifi|4g|3g")
+		pioneers     = flag.Int("pioneers", 4, "data-rich reporting devices")
+		late         = flag.Int("late", 8, "data-poor late devices")
+		pioneerN     = flag.Int("pioneer-n", 200, "samples per pioneer")
+		lateN        = flag.Int("late-n", 12, "samples per late device")
+		dim          = flag.Int("dim", 8, "feature dimensionality")
+		clusters     = flag.Int("clusters", 2, "task-family clusters")
+		rebuildEvery = flag.Int("rebuild-every", 1, "cloud rebuild batch size")
+		rho          = flag.Float64("rho", 0.05, "Wasserstein radius")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var link edge.LinkProfile
+	switch *linkName {
+	case "wifi":
+		link = edge.LinkWiFi
+	case "4g":
+		link = edge.Link4G
+	case "3g":
+		link = edge.Link3G
+	default:
+		return fmt.Errorf("unknown link %q (want wifi|4g|3g)", *linkName)
+	}
+
+	rng := stat.NewRNG(*seed)
+	family, err := data.NewTaskFamily(rng, *dim, *clusters, 5, 0.2)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Family:       family,
+		Model:        model.Logistic{Dim: *dim},
+		Set:          dro.Set{Kind: dro.Wasserstein, Rho: *rho},
+		Alpha:        1,
+		RebuildEvery: *rebuildEvery,
+		Flip:         0.05,
+		Seed:         *seed,
+	}
+	var specs []sim.DeviceSpec
+	for i := 0; i < *pioneers; i++ {
+		specs = append(specs, sim.DeviceSpec{
+			ID: i, ArriveAt: time.Duration(i) * 10 * time.Second,
+			Link: link, Samples: *pioneerN, Report: true, Cluster: i % *clusters,
+		})
+	}
+	for i := 0; i < *late; i++ {
+		specs = append(specs, sim.DeviceSpec{
+			ID: *pioneers + i, ArriveAt: time.Duration(100+i*5) * time.Second,
+			Link: link, Samples: *lateN, Cluster: i % *clusters,
+		})
+	}
+
+	res, err := sim.Run(cfg, specs)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "device\tarrive\tprior ver\tcomps\taccuracy\tdownlink\ttrain\tTTM")
+	for _, d := range res.Devices {
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%.3f\t%v\t%v\t%v\n",
+			d.ID, d.ArriveAt, d.FetchedVersion, d.PriorComponents, d.Accuracy,
+			d.DownlinkTime.Round(time.Millisecond),
+			d.TrainTime.Round(time.Millisecond),
+			d.TimeToModel.Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\ncloud: %d rebuilds, final prior version %d; traffic %0.1f KB down / %0.1f KB up\n",
+		res.Rebuilds, res.FinalVersion,
+		float64(res.BytesDown)/1024, float64(res.BytesUp)/1024)
+	return nil
+}

@@ -1,0 +1,86 @@
+package drdp_test
+
+import (
+	"fmt"
+
+	"github.com/drdp/drdp"
+)
+
+// ExampleNewLearner shows the minimal robust-training loop: build a
+// learner with a Wasserstein ball, fit on a small sample, predict.
+func ExampleNewLearner() {
+	rng := drdp.NewRNG(1)
+	task := drdp.LinearTask{W: []float64{2, -1}, Flip: 0.02}
+	train := task.Sample(rng, 200)
+
+	learner, err := drdp.NewLearner(drdp.Logistic{Dim: 2},
+		drdp.WithUncertaintySet(drdp.UncertaintySet{Kind: drdp.Wasserstein, Rho: 0.05}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := learner.Fit(train.X, train.Y)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A confidently positive point: far on the +w side.
+	pred := learner.Predict(res.Params, []float64{3, -3})
+	fmt.Printf("prediction: %+.0f\n", pred)
+	fmt.Printf("certificate >= empirical: %v\n", res.RobustLoss >= res.EmpiricalLoss)
+	// Output:
+	// prediction: +1
+	// certificate >= empirical: true
+}
+
+// ExampleBuildPrior shows the cloud side: summarize solved tasks and
+// construct the Dirichlet-process prior an edge device will download.
+func ExampleBuildPrior() {
+	rng := drdp.NewRNG(2)
+	m := drdp.Logistic{Dim: 4}
+
+	var posteriors []drdp.TaskPosterior
+	for i := 0; i < 3; i++ {
+		task := drdp.LinearTask{W: []float64{1, 2, -1, 0.5}}
+		ds := task.Sample(rng, 300)
+		params, err := drdp.Ridge{Model: m, Lambda: 1e-3}.Train(ds.X, ds.Y)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		cov, err := drdp.LaplacePosterior(m, params, ds.X, ds.Y, 1e-3)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		posteriors = append(posteriors, drdp.TaskPosterior{Mu: params, Sigma: cov, N: ds.Len()})
+	}
+	prior, err := drdp.BuildPrior(posteriors, drdp.PriorBuildOptions{Alpha: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Three near-identical tasks cluster into one component; the base
+	// measure keeps the CRP's new-task mass α/(α+K) = 1/4.
+	fmt.Printf("components: %d\n", len(prior.Components))
+	fmt.Printf("base weight: %.2f\n", prior.BaseWeight)
+	// Output:
+	// components: 1
+	// base weight: 0.25
+}
+
+// ExampleUncertaintySet_WorstCase shows the DRO layer directly: the
+// worst-case expected loss over a KL ball and the tilted sample weights.
+func ExampleUncertaintySet_WorstCase() {
+	set := drdp.UncertaintySet{Kind: drdp.KL, Rho: 0.1}
+	losses := []float64{0.1, 0.2, 1.5} // one hard sample
+	value, weights := set.WorstCase(losses, 0)
+	fmt.Printf("mean loss: %.2f\n", (0.1+0.2+1.5)/3)
+	fmt.Printf("worst case is larger: %v\n", value > 0.6)
+	fmt.Printf("hard sample upweighted: %v\n", weights[2] > 1.0/3)
+	// Output:
+	// mean loss: 0.60
+	// worst case is larger: true
+	// hard sample upweighted: true
+}

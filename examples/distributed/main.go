@@ -1,0 +1,132 @@
+// Distributed scenario: a real TCP cloud server and a fleet of edge
+// devices in one process. The cloud starts cold; the first devices (with
+// plenty of data) train locally and report their solved tasks, and the
+// prior they build lifts the late-arriving devices that only have a
+// handful of samples — knowledge accumulation over the wire.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/drdp/drdp"
+)
+
+const dim = 12
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Cloud server on a random local port.
+	srv, err := drdp.NewCloudServer(nil, drdp.PriorBuildOptions{Alpha: 1, Seed: 5}, nil)
+	if err != nil {
+		return err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		if err := srv.ListenAndServe("127.0.0.1:0", addrCh); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	addr := <-addrCh
+	defer srv.Close()
+	fmt.Printf("cloud server listening on %s\n\n", addr)
+
+	rng := drdp.NewRNG(314)
+	family, err := drdp.NewTaskFamily(rng, dim, 2, 6, 0.15)
+	if err != nil {
+		return err
+	}
+	m := drdp.Logistic{Dim: dim}
+	set := drdp.UncertaintySet{Kind: drdp.Wasserstein, Rho: 0.05}
+
+	// Phase 1: four data-rich pioneer devices (two per task cluster)
+	// bootstrap the cloud. They train purely locally — they ARE the
+	// cloud's initial task set — and upload their Laplace posteriors.
+	fmt.Println("phase 1: pioneer devices (300 samples each) report their tasks")
+	for id := 0; id < 4; id++ {
+		task := family.SampleTask(rng, id%2)
+		task.Flip = 0.05
+		train := task.Sample(rng, 300)
+		dev := &drdp.EdgeDevice{ID: id, Model: m, Set: set}
+		res, err := dev.TrainWithPrior(nil, train.X, train.Y)
+		if err != nil {
+			return fmt.Errorf("pioneer %d: %w", id, err)
+		}
+		cov, err := drdp.LaplacePosterior(m, res.Params, train.X, train.Y, 1e-3)
+		if err != nil {
+			return fmt.Errorf("pioneer %d posterior: %w", id, err)
+		}
+		client, err := drdp.DialCloud(addr, 3*time.Second)
+		if err != nil {
+			return err
+		}
+		if _, err := client.ReportTask(drdp.TaskPosterior{
+			Mu: res.Params, Sigma: cov, N: train.Len(),
+		}); err != nil {
+			client.Close()
+			return fmt.Errorf("pioneer %d report: %w", id, err)
+		}
+		stats, err := client.Stats()
+		client.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  device %d: trained (certificate %.3f), cloud now holds %d tasks\n",
+			id, res.RobustLoss, stats.Tasks)
+	}
+
+	// Phase 2: data-poor late devices benefit from the accumulated prior.
+	fmt.Println("\nphase 2: late devices (12 samples each) pull the prior")
+	for id := 4; id < 7; id++ {
+		task := family.SampleTask(rng, id%2)
+		task.Flip = 0.05
+		train := task.Sample(rng, 12)
+		test := task.Sample(rng, 2000)
+
+		// Local-only comparison.
+		local, err := drdp.ERM{Model: m}.Train(train.X, train.Y)
+		if err != nil {
+			return err
+		}
+
+		client, err := drdp.DialCloud(addr, 3*time.Second)
+		if err != nil {
+			return err
+		}
+		dev := &drdp.EdgeDevice{ID: id, Model: m, Set: set, Tau: 0.5, EMIters: 15}
+		res, err := dev.Run(client, train.X, train.Y, false)
+		client.Close()
+		if err != nil {
+			return fmt.Errorf("late device %d: %w", id, err)
+		}
+		fmt.Printf("  device %d: local-only %.3f  → with cloud prior %.3f\n",
+			id,
+			drdp.Accuracy(m, local, test.X, test.Y),
+			drdp.Accuracy(m, res.Params, test.X, test.Y))
+	}
+
+	// Systems view: what did shipping the prior cost?
+	client, err := drdp.DialCloud(addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprior: %d components, %d bytes — est. transfer %v (wifi), %v (4g), %v (3g)\n",
+		stats.Components, stats.WireBytes,
+		drdp.LinkWiFi.TransferTime(stats.WireBytes),
+		drdp.Link4G.TransferTime(stats.WireBytes),
+		drdp.Link3G.TransferTime(stats.WireBytes))
+	return nil
+}

@@ -1,0 +1,87 @@
+// Vision-at-the-edge scenario: factory cameras classify stamped digits on
+// parts. The cloud has models from three older production lines (cleaner
+// imaging); a new line comes online with a noisier camera and only a few
+// labeled examples per digit. DRDP transfers the cloud lines' knowledge
+// as a DP prior while staying robust to the new line's noise.
+//
+//	go run ./examples/edgevision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/drdp/drdp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := drdp.NewRNG(99)
+	m := drdp.Softmax{Dim: 64, Classes: 10} // 8×8 synthetic stroke digits
+
+	// Cloud lines: cleaner cameras, plenty of data.
+	cloudCam := drdp.DigitTask{Noise: 0.25, Jitter: true}
+	fmt.Println("cloud: training 3 production-line models...")
+	var posteriors []drdp.TaskPosterior
+	for line := 0; line < 3; line++ {
+		ds := cloudCam.SamplePerClass(rng, 30)
+		params, err := drdp.Ridge{Model: m, Lambda: 1e-3}.Train(ds.X, ds.Y)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		// 650 parameters: use an isotropic posterior (full Laplace is
+		// O(p²) gradient evaluations — overkill for this demo).
+		sigma := drdp.NewDense(m.NumParams(), m.NumParams())
+		for i := 0; i < m.NumParams(); i++ {
+			sigma.Set(i, i, 0.05)
+		}
+		posteriors = append(posteriors, drdp.TaskPosterior{Mu: params, Sigma: sigma, N: ds.Len()})
+	}
+	prior, err := drdp.BuildPrior(posteriors, drdp.PriorBuildOptions{Alpha: 1})
+	if err != nil {
+		return err
+	}
+	compiled, err := drdp.CompilePrior(prior)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud: prior = %d components, %.1f KB on the wire\n\n",
+		len(prior.Components), float64(prior.WireSize())/1024)
+
+	// New line: noisier camera, 5 labeled samples per digit.
+	newCam := drdp.DigitTask{Noise: 0.5, Jitter: true}
+	train := newCam.SamplePerClass(rng, 5)
+	test := newCam.SamplePerClass(rng, 50)
+
+	erm, err := drdp.ERM{Model: m}.Train(train.X, train.Y)
+	if err != nil {
+		return err
+	}
+	ridge, err := drdp.Ridge{Model: m, Lambda: 0.1}.Train(train.X, train.Y)
+	if err != nil {
+		return err
+	}
+	learner, err := drdp.NewLearner(m,
+		drdp.WithUncertaintySet(drdp.UncertaintySet{Kind: drdp.Wasserstein, Rho: 0.01}),
+		drdp.WithPrior(compiled),
+		drdp.WithEMIters(5, 1e-6),
+	)
+	if err != nil {
+		return err
+	}
+	res, err := learner.Fit(train.X, train.Y)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("new line, 5 labeled samples per digit:")
+	fmt.Printf("  local ERM   test accuracy: %.3f\n", drdp.Accuracy(m, erm, test.X, test.Y))
+	fmt.Printf("  local ridge test accuracy: %.3f\n", drdp.Accuracy(m, ridge, test.X, test.Y))
+	fmt.Printf("  DRDP        test accuracy: %.3f\n", drdp.Accuracy(m, res.Params, test.X, test.Y))
+	return nil
+}

@@ -1,0 +1,75 @@
+// Quickstart: train a distributionally robust edge model with a cloud
+// Dirichlet-process prior in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/drdp/drdp"
+)
+
+func main() {
+	rng := drdp.NewRNG(7)
+
+	// A family of related tasks: the cloud solved two of them before.
+	family, err := drdp.NewTaskFamily(rng, 10, 1, 4, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := drdp.Logistic{Dim: 10}
+
+	// Cloud side: train each past task, summarize as (μ, Σ), build prior.
+	var posteriors []drdp.TaskPosterior
+	for i := 0; i < 2; i++ {
+		task := family.SampleTask(rng, 0)
+		ds := task.Sample(rng, 300)
+		params, err := drdp.ERM{Model: m}.Train(ds.X, ds.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov, err := drdp.LaplacePosterior(m, params, ds.X, ds.Y, 1e-3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		posteriors = append(posteriors, drdp.TaskPosterior{Mu: params, Sigma: cov, N: ds.Len()})
+	}
+	prior, err := drdp.BuildPrior(posteriors, drdp.PriorBuildOptions{Alpha: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := drdp.CompilePrior(prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Edge side: 15 local samples of a fresh related task.
+	edgeTask := family.SampleTask(rng, 0)
+	edgeTask.Flip = 0.05
+	train := edgeTask.Sample(rng, 15)
+	test := edgeTask.Sample(rng, 2000)
+
+	learner, err := drdp.NewLearner(m,
+		drdp.WithUncertaintySet(drdp.UncertaintySet{Kind: drdp.Wasserstein, Rho: 0.05}),
+		drdp.WithPrior(compiled),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := learner.Fit(train.X, train.Y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare with purely local training.
+	local, err := drdp.ERM{Model: m}.Train(train.X, train.Y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("local ERM test accuracy: %.3f\n", drdp.Accuracy(m, local, test.X, test.Y))
+	fmt.Printf("DRDP test accuracy:      %.3f\n", drdp.Accuracy(m, res.Params, test.X, test.Y))
+	fmt.Printf("robust-loss certificate: %.3f (EM iters: %d)\n", res.RobustLoss, res.EMIterations)
+}

@@ -1,0 +1,88 @@
+// Streaming scenario: an edge device watches a slowly drifting process
+// (a rotating decision boundary — think seasonal sensor drift) and must
+// keep its model current. The example contrasts three policies on each
+// step's live distribution: a frozen model, accumulate-everything online
+// learning, and sliding-window online learning.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/drdp/drdp"
+)
+
+const (
+	dim       = 8
+	batchSize = 40
+	steps     = 10
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := drdp.NewRNG(77)
+	task, err := drdp.NewDriftingTask(rng, dim, 4, 0.12, 0.05)
+	if err != nil {
+		return err
+	}
+	m := drdp.Logistic{Dim: dim}
+	set := drdp.UncertaintySet{Kind: drdp.Wasserstein, Rho: 0.05}
+
+	mk := func() (*drdp.Learner, error) {
+		return drdp.NewLearner(m, drdp.WithUncertaintySet(set))
+	}
+	lAll, err := mk()
+	if err != nil {
+		return err
+	}
+	all, err := drdp.NewOnline(lAll)
+	if err != nil {
+		return err
+	}
+	lWin, err := mk()
+	if err != nil {
+		return err
+	}
+	windowed, err := drdp.NewOnlineWindow(lWin, 2*batchSize)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "step\tdrift(rad)\tfrozen\tonline-all\tonline-window")
+	var frozen []float64
+	for t := 0; t < steps; t++ {
+		batch := task.SampleAt(rng, t, batchSize)
+		test := task.SampleAt(rng, t, 2000)
+
+		resAll, err := all.Observe(batch.X, batch.Y)
+		if err != nil {
+			return err
+		}
+		resWin, err := windowed.Observe(batch.X, batch.Y)
+		if err != nil {
+			return err
+		}
+		if t == 1 {
+			frozen = append([]float64(nil), resAll.Params...)
+		}
+		frozenAcc := drdp.Accuracy(m, resAll.Params, test.X, test.Y)
+		if frozen != nil {
+			frozenAcc = drdp.Accuracy(m, frozen, test.X, test.Y)
+		}
+		fmt.Fprintf(w, "%d\t%.2f\t%.3f\t%.3f\t%.3f\n",
+			t, task.AngleAt(t), frozenAcc,
+			drdp.Accuracy(m, resAll.Params, test.X, test.Y),
+			drdp.Accuracy(m, resWin.Params, test.X, test.Y))
+	}
+	return w.Flush()
+}

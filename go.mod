@@ -1,0 +1,3 @@
+module github.com/drdp/drdp
+
+go 1.22

@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+)
+
+func testTask(seed int64, n int) (*data.Dataset, data.LinearTask) {
+	rng := rand.New(rand.NewSource(seed))
+	task := data.LinearTask{W: mat.Vec{2, -1, 1}, Bias: 0.3, Flip: 0.05}
+	return task.Sample(rng, n), task
+}
+
+func TestAllTrainersProduceValidParams(t *testing.T) {
+	ds, task := testTask(100, 120)
+	m := model.Logistic{Dim: 3}
+	cloud := task.Params()
+	trainers := []Trainer{
+		ERM{Model: m},
+		Ridge{Model: m, Lambda: 0.1},
+		GaussMAP{Model: m, Mu: cloud, Lambda: 1},
+		CloudOnly{Params: cloud},
+		FineTune{Model: m, Init: cloud, Steps: 5},
+		DRO{Model: m, Set: dro.Set{Kind: dro.Wasserstein, Rho: 0.1}},
+	}
+	seen := map[string]bool{}
+	for _, tr := range trainers {
+		params, err := tr.Train(ds.X, ds.Y)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if len(params) != m.NumParams() {
+			t.Errorf("%s: %d params, want %d", tr.Name(), len(params), m.NumParams())
+		}
+		if acc := model.Accuracy(m, params, ds.X, ds.Y); acc < 0.8 {
+			t.Errorf("%s: training accuracy %v", tr.Name(), acc)
+		}
+		if seen[tr.Name()] {
+			t.Errorf("duplicate trainer name %q", tr.Name())
+		}
+		seen[tr.Name()] = true
+	}
+}
+
+func TestRidgeShrinksNorm(t *testing.T) {
+	ds, _ := testTask(101, 80)
+	m := model.Logistic{Dim: 3}
+	erm, err := ERM{Model: m}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := Ridge{Model: m, Lambda: 5}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Norm2(ridge) >= mat.Norm2(erm) {
+		t.Errorf("ridge norm %v >= erm norm %v", mat.Norm2(ridge), mat.Norm2(erm))
+	}
+}
+
+func TestGaussMAPPullsTowardPrior(t *testing.T) {
+	ds, _ := testTask(102, 10)
+	m := model.Logistic{Dim: 3}
+	target := mat.Vec{9, 9, 9, 9} // deliberately far from the data optimum
+	strong, err := GaussMAP{Model: m, Mu: target, Lambda: 100}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := GaussMAP{Model: m, Mu: target, Lambda: 0.001}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Dist2(strong, target) >= mat.Dist2(weak, target) {
+		t.Errorf("stronger prior should land closer to mu: %v vs %v",
+			mat.Dist2(strong, target), mat.Dist2(weak, target))
+	}
+}
+
+func TestCloudOnlyIgnoresData(t *testing.T) {
+	ds, task := testTask(103, 20)
+	params, err := CloudOnly{Params: task.Params()}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Dist2(params, task.Params()) != 0 {
+		t.Error("CloudOnly changed the parameters")
+	}
+	// Returned slice must be a copy.
+	params[0] = 99
+	if task.Params()[0] == 99 {
+		t.Error("CloudOnly aliased its input")
+	}
+	if _, err := (CloudOnly{}).Train(ds.X, ds.Y); err == nil {
+		t.Error("empty CloudOnly accepted")
+	}
+}
+
+func TestFineTuneMovesFromInit(t *testing.T) {
+	ds, _ := testTask(104, 100)
+	m := model.Logistic{Dim: 3}
+	init := make(mat.Vec, m.NumParams()) // zeros: far from optimum
+	params, err := FineTune{Model: m, Init: init, Steps: 20}.Train(ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Norm2(params) == 0 {
+		t.Error("fine-tune did not move")
+	}
+	if _, err := (FineTune{Model: m, Init: mat.Vec{1}}).Train(ds.X, ds.Y); err == nil {
+		t.Error("bad init dim accepted")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	m := model.Logistic{Dim: 3}
+	empty := mat.NewDense(0, 3)
+	for _, tr := range []Trainer{
+		ERM{Model: m},
+		Ridge{Model: m, Lambda: 1},
+		GaussMAP{Model: m, Mu: make(mat.Vec, 4), Lambda: 1},
+		DRO{Model: m, Set: dro.Set{Kind: dro.KL, Rho: 0.1}},
+	} {
+		if _, err := tr.Train(empty, nil); err == nil {
+			t.Errorf("%s accepted empty data", tr.Name())
+		}
+	}
+	if _, err := (Ridge{Model: m, Lambda: -1}).Train(mat.NewDense(1, 3), []float64{1}); err == nil {
+		t.Error("negative ridge lambda accepted")
+	}
+	if _, err := (GaussMAP{Model: m, Mu: mat.Vec{1}, Lambda: 1}).Train(mat.NewDense(1, 3), []float64{1}); err == nil {
+		t.Error("wrong prior mean dim accepted")
+	}
+}
+
+func TestLaplacePosteriorSharpensWithData(t *testing.T) {
+	// More data → smaller posterior covariance (trace).
+	m := model.Logistic{Dim: 2}
+	rng := rand.New(rand.NewSource(105))
+	task := data.LinearTask{W: mat.Vec{1, -1}, Flip: 0.1}
+	small := task.Sample(rng, 30)
+	large := task.Sample(rng, 300)
+	params, err := ERM{Model: m}.Train(large.X, large.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covSmall, err := model.LaplacePosterior(m, params, small.X, small.Y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covLarge, err := model.LaplacePosterior(m, params, large.X, large.Y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covLarge.Trace() >= covSmall.Trace() {
+		t.Errorf("posterior did not sharpen: %v vs %v", covLarge.Trace(), covSmall.Trace())
+	}
+	if _, err := model.LaplacePosterior(m, params, small.X, small.Y, -1); err == nil {
+		t.Error("negative ridge accepted")
+	}
+}

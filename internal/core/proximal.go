@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/opt"
+)
+
+// WithProximalMStep switches the inner solver to proximal gradient
+// descent, handling the Wasserstein dual-norm penalty ρ·‖w‖₂ through its
+// exact proximal operator (block soft threshold) instead of a
+// subgradient. Requires a model implementing model.BlockNormer (logistic,
+// least squares); validated at construction. With non-Wasserstein sets
+// the prox is the identity and the solver reduces to plain proximal GD.
+//
+// The proximal form converges faster near sparse/shrunk optima and can
+// set the weight block exactly to zero at large ρ, which the subgradient
+// solver never does.
+func WithProximalMStep() Option {
+	return func(l *Learner) error {
+		if _, ok := l.model.(model.BlockNormer); !ok {
+			return errors.New("core: WithProximalMStep requires a model with a single penalized weight block (model.BlockNormer)")
+		}
+		l.proximal = true
+		return nil
+	}
+}
+
+// WithLBFGSMStep switches the inner solver to limited-memory BFGS with
+// the given history length (≤ 0 picks 8). Quasi-Newton curvature makes
+// it markedly faster than gradient descent when prior components are
+// much stiffer in some directions than the data likelihood.
+func WithLBFGSMStep(memory int) Option {
+	return func(l *Learner) error {
+		if memory <= 0 {
+			memory = 8
+		}
+		l.lbfgsMem = memory
+		return nil
+	}
+}
+
+// lbfgsMStep minimizes the same objective as mStep with opt.LBFGS.
+func (p *drdpProblem) lbfgsMStep(theta mat.Vec, scaled []float64) mat.Vec {
+	l := p.learner
+	mdl := l.model
+	f := func(th mat.Vec, grad mat.Vec) float64 {
+		mdl.Losses(th, p.x, p.y, p.losses)
+		value, weights := l.set.WorstCase(p.losses, l.lipschitz(th))
+		if scaled != nil {
+			value += l.prior.SurrogateValue(th, scaled)
+		}
+		if grad != nil {
+			mat.Fill(grad, 0)
+			mdl.WeightedGrad(th, p.x, p.y, weights, grad)
+			if rho := l.set.ThetaPenalty(); rho > 0 {
+				l.lipschitzGrad(th, rho, grad)
+			}
+			if scaled != nil {
+				l.prior.SurrogateGrad(th, scaled, grad)
+			}
+		}
+		return value
+	}
+	res := opt.LBFGS(f, theta, opt.LBFGSOptions{Options: l.mstep, Memory: l.lbfgsMem})
+	return res.Theta
+}
+
+// proximalMStep minimizes the surrogate objective with opt.ProxGD: the
+// smooth part is the worst-case-weighted loss plus the τ-scaled prior
+// surrogate; the Wasserstein penalty enters via its prox.
+func (p *drdpProblem) proximalMStep(theta mat.Vec, scaled []float64) mat.Vec {
+	l := p.learner
+	mdl := l.model
+	bn := mdl.(model.BlockNormer) // validated in WithProximalMStep
+	from, to := bn.WeightBlock()
+
+	rho := l.set.ThetaPenalty()
+	// The smooth part must exclude the penalty the prox handles; for
+	// KL/χ² sets ThetaPenalty is 0 and WorstCase carries everything.
+	smoothSet := l.set
+	if smoothSet.Kind == dro.Wasserstein {
+		smoothSet = dro.Set{Kind: dro.None}
+	}
+
+	f := func(th mat.Vec, grad mat.Vec) float64 {
+		mdl.Losses(th, p.x, p.y, p.losses)
+		value, weights := smoothSet.WorstCase(p.losses, 0)
+		if scaled != nil {
+			value += l.prior.SurrogateValue(th, scaled)
+		}
+		if grad != nil {
+			mat.Fill(grad, 0)
+			mdl.WeightedGrad(th, p.x, p.y, weights, grad)
+			if scaled != nil {
+				l.prior.SurrogateGrad(th, scaled, grad)
+			}
+		}
+		return value
+	}
+	penalty := func(th mat.Vec) float64 {
+		if rho == 0 {
+			return 0
+		}
+		return rho * mat.Norm2(th[from:to])
+	}
+	res := opt.ProxGD(f, opt.ProxL2Block(rho, from, to), penalty, theta, l.mstep)
+	return res.Theta
+}

@@ -1,0 +1,70 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// DriftingTask is a binary task whose true weight vector rotates over
+// time in a fixed 2-plane — smooth concept drift, the streaming stressor
+// for the online learner (EXPERIMENTS.md Figure 11). At step t the task
+// weights are
+//
+//	w(t) = cos(Rate·t)·W0 + sin(Rate·t)·W⊥
+//
+// with ‖w(t)‖ = ‖W0‖ for all t.
+type DriftingTask struct {
+	W0   mat.Vec // initial weights
+	Worp mat.Vec // orthogonal direction of equal norm
+	Rate float64 // radians of rotation per step
+	Flip float64 // label noise
+}
+
+// NewDriftingTask draws a random task of the given norm and drift rate.
+func NewDriftingTask(rng *rand.Rand, dim int, norm, rate, flip float64) (*DriftingTask, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("data: NewDriftingTask: dim %d must be ≥ 2 for a rotation plane", dim)
+	}
+	if norm <= 0 || rate < 0 {
+		return nil, fmt.Errorf("data: NewDriftingTask: norm=%g rate=%g", norm, rate)
+	}
+	w0 := make(mat.Vec, dim)
+	for i := range w0 {
+		w0[i] = rng.NormFloat64()
+	}
+	mat.Scale(norm/mat.Norm2(w0), w0)
+	// Gram-Schmidt a second random vector against w0.
+	worp := make(mat.Vec, dim)
+	for i := range worp {
+		worp[i] = rng.NormFloat64()
+	}
+	mat.Axpy(-mat.Dot(worp, w0)/(norm*norm), w0, worp)
+	n := mat.Norm2(worp)
+	if n == 0 {
+		return nil, fmt.Errorf("data: NewDriftingTask: degenerate orthogonal draw")
+	}
+	mat.Scale(norm/n, worp)
+	return &DriftingTask{W0: w0, Worp: worp, Rate: rate, Flip: flip}, nil
+}
+
+// At returns the task as of step t.
+func (d *DriftingTask) At(t int) LinearTask {
+	angle := d.Rate * float64(t)
+	w := make(mat.Vec, len(d.W0))
+	c, s := math.Cos(angle), math.Sin(angle)
+	for i := range w {
+		w[i] = c*d.W0[i] + s*d.Worp[i]
+	}
+	return LinearTask{W: w, Flip: d.Flip}
+}
+
+// SampleAt draws n samples from the step-t distribution.
+func (d *DriftingTask) SampleAt(rng *rand.Rand, t, n int) *Dataset {
+	return d.At(t).Sample(rng, n)
+}
+
+// AngleAt returns the cumulative rotation at step t in radians.
+func (d *DriftingTask) AngleAt(t int) float64 { return d.Rate * float64(t) }

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func TestNewDriftingTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	d, err := NewDriftingTask(rng, 6, 4, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mat.Norm2(d.W0)-4) > 1e-9 || math.Abs(mat.Norm2(d.Worp)-4) > 1e-9 {
+		t.Errorf("norms %v / %v, want 4", mat.Norm2(d.W0), mat.Norm2(d.Worp))
+	}
+	if dot := mat.Dot(d.W0, d.Worp); math.Abs(dot) > 1e-9 {
+		t.Errorf("drift plane not orthogonal: %v", dot)
+	}
+	// Errors.
+	if _, err := NewDriftingTask(rng, 1, 4, 0.1, 0); err == nil {
+		t.Error("dim=1 accepted")
+	}
+	if _, err := NewDriftingTask(rng, 4, 0, 0.1, 0); err == nil {
+		t.Error("norm=0 accepted")
+	}
+	if _, err := NewDriftingTask(rng, 4, 1, -1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestDriftRotationGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	d, err := NewDriftingTask(rng, 5, 3, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Norm preserved at every step.
+	for _, step := range []int{0, 1, 5, 20} {
+		w := d.At(step).W
+		if math.Abs(mat.Norm2(w)-3) > 1e-9 {
+			t.Errorf("step %d norm %v", step, mat.Norm2(w))
+		}
+	}
+	// At step 0 the task is W0 exactly.
+	if mat.Dist2(d.At(0).W, d.W0) > 1e-12 {
+		t.Error("At(0) != W0")
+	}
+	// Angle between w(0) and w(t) equals Rate·t (mod 2π) for small t.
+	w0, w5 := d.At(0).W, d.At(5).W
+	cos := mat.Dot(w0, w5) / (mat.Norm2(w0) * mat.Norm2(w5))
+	if math.Abs(math.Acos(cos)-1.0) > 1e-9 { // 0.2·5 = 1 radian
+		t.Errorf("rotation angle %v, want 1", math.Acos(cos))
+	}
+	if got := d.AngleAt(5); got != 1.0 {
+		t.Errorf("AngleAt(5) = %v", got)
+	}
+}
+
+func TestDriftMakesOldModelsStale(t *testing.T) {
+	// A classifier perfect for step 0 must lose accuracy on a far-rotated
+	// distribution — the premise of the drift experiment.
+	rng := rand.New(rand.NewSource(232))
+	d, err := NewDriftingTask(rng, 4, 4, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := append(mat.CloneVec(d.W0), 0)
+	early := d.SampleAt(rng, 0, 1000)
+	late := d.SampleAt(rng, 6, 1000) // 1.8 radians later
+	accEarly := accuracyLinear(params, early)
+	accLate := accuracyLinear(params, late)
+	if accEarly < 0.99 {
+		t.Errorf("step-0 accuracy %v", accEarly)
+	}
+	if accLate > 0.75 {
+		t.Errorf("accuracy after 1.8 rad drift still %v — drift too weak", accLate)
+	}
+}
+
+// accuracyLinear scores sign(wᵀx + b) labels without importing model.
+func accuracyLinear(params mat.Vec, ds *Dataset) float64 {
+	var correct int
+	d := len(params) - 1
+	for i := 0; i < ds.Len(); i++ {
+		score := mat.Dot(params[:d], ds.X.Row(i)) + params[d]
+		pred := 1.0
+		if score < 0 {
+			pred = -1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,46 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV hardens the dataset parser: arbitrary input must produce
+// either a valid dataset or an error — never a panic or an invalid
+// Dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("1,2,1\n3,4,-1\n"), 2)
+	f.Add([]byte("1,2,0\n3,4,2\n"), 3)
+	f.Add([]byte("0.5,-1.25\n"), 0)
+	f.Add([]byte(""), 2)
+	f.Add([]byte("a,b,c\n"), 2)
+	f.Add([]byte("1\n1,2\n"), 0)
+	f.Fuzz(func(t *testing.T, raw []byte, numClasses int) {
+		if numClasses < 0 || numClasses > 64 {
+			numClasses = numClasses & 63
+			if numClasses < 0 {
+				numClasses = -numClasses
+			}
+		}
+		ds, err := ReadCSV(bytes.NewReader(raw), numClasses)
+		if err != nil {
+			return
+		}
+		if vErr := ds.Validate(); vErr != nil {
+			t.Fatalf("ReadCSV returned an invalid dataset: %v", vErr)
+		}
+		// Round trip must preserve the parse.
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of parsed dataset failed: %v", err)
+		}
+		back, err := ReadCSV(&buf, ds.NumClasses)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Len() != ds.Len() || back.Dim() != ds.Dim() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Len(), back.Dim(), ds.Len(), ds.Dim())
+		}
+	})
+}

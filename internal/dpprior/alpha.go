@@ -1,0 +1,93 @@
+package dpprior
+
+import (
+	"fmt"
+	"math"
+)
+
+// SelectAlpha chooses the DP concentration by empirical Bayes: it
+// alternates (a) clustering the tasks at the current α and (b) maximizing
+// the Chinese-restaurant-process likelihood of the resulting partition
+// over α,
+//
+//	log p(partition | α) = K log α + Σ_c log Γ(|c|) − Σ_{i<n} log(α+i),
+//
+// which is concave in α and solved by golden-section search on log α.
+// The cluster-data marginals do not involve α, so this is the exact EB
+// update given the hardened partition. Returns the selected α and the
+// prior built with it. opts.Alpha is ignored (it is what's being chosen).
+func SelectAlpha(tasks []TaskPosterior, opts BuildOptions) (float64, *Prior, error) {
+	if len(tasks) == 0 {
+		return 0, nil, fmt.Errorf("dpprior: SelectAlpha: no tasks")
+	}
+	n := len(tasks)
+	alpha := 1.0
+	for round := 0; round < 8; round++ {
+		o := opts
+		o.Alpha = alpha
+		p, err := Build(tasks, o)
+		if err != nil {
+			return 0, nil, fmt.Errorf("dpprior: SelectAlpha: %w", err)
+		}
+		sizes := make([]float64, len(p.Components))
+		for i, c := range p.Components {
+			sizes[i] = c.Count
+		}
+		next := maximizeCRPAlpha(sizes, n)
+		if math.Abs(math.Log(next)-math.Log(alpha)) < 1e-3 {
+			alpha = next
+			break
+		}
+		alpha = next
+	}
+	// Rebuild at the final α so weights use it.
+	o := opts
+	o.Alpha = alpha
+	p, err := Build(tasks, o)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dpprior: SelectAlpha: final build: %w", err)
+	}
+	return alpha, p, nil
+}
+
+// CRPLogLik returns log p(partition | alpha) for the given cluster sizes
+// (the normalizing data terms are omitted — they are α-free).
+func CRPLogLik(sizes []float64, n int, alpha float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(-1)
+	}
+	ll := float64(len(sizes)) * math.Log(alpha)
+	for _, s := range sizes {
+		lg, _ := math.Lgamma(s)
+		ll += lg // log Γ(|c|) = log (|c|−1)!
+	}
+	for i := 0; i < n; i++ {
+		ll -= math.Log(alpha + float64(i))
+	}
+	return ll
+}
+
+// maximizeCRPAlpha maximizes CRPLogLik over α by golden-section search
+// on log α in [1e-3, 1e3].
+func maximizeCRPAlpha(sizes []float64, n int) float64 {
+	neg := func(logA float64) float64 {
+		return -CRPLogLik(sizes, n, math.Exp(logA))
+	}
+	const invPhi = 0.6180339887498949
+	a, b := math.Log(1e-3), math.Log(1e3)
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := neg(x1), neg(x2)
+	for i := 0; i < 100; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = neg(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = neg(x2)
+		}
+	}
+	return math.Exp((a + b) / 2)
+}

@@ -1,0 +1,74 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCRPLogLikShape(t *testing.T) {
+	// One big table (n=10 in one cluster) favors tiny α; ten singletons
+	// favor large α.
+	oneTable := []float64{10}
+	singletons := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	small, large := 0.05, 50.0
+	if CRPLogLik(oneTable, 10, small) <= CRPLogLik(oneTable, 10, large) {
+		t.Error("one table should prefer small alpha")
+	}
+	if CRPLogLik(singletons, 10, large) <= CRPLogLik(singletons, 10, small) {
+		t.Error("singletons should prefer large alpha")
+	}
+	if !math.IsInf(CRPLogLik(oneTable, 10, 0), -1) {
+		t.Error("alpha=0 should be -Inf")
+	}
+}
+
+func TestMaximizeCRPAlphaBrackets(t *testing.T) {
+	// The maximizer must beat nearby values on both sides.
+	sizes := []float64{4, 3, 3}
+	best := maximizeCRPAlpha(sizes, 10)
+	ll := CRPLogLik(sizes, 10, best)
+	for _, factor := range []float64{0.5, 2} {
+		if CRPLogLik(sizes, 10, best*factor) > ll+1e-9 {
+			t.Errorf("alpha %v not optimal (beaten at ×%v)", best, factor)
+		}
+	}
+}
+
+func TestSelectAlphaRespondsToStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(270))
+	// Tightly clustered family (12 tasks, 2 clusters) → few components →
+	// small α. Widely scattered tasks (each its own cluster) → many
+	// components → larger α.
+	clustered, _ := makeTaskFamily(rng, 12, 4, 2, 10)
+	aClustered, pClustered, err := SelectAlpha(clustered, BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, _ := makeTaskFamily(rng, 12, 4, 12, 14)
+	aScattered, pScattered, err := SelectAlpha(scattered, BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aClustered >= aScattered {
+		t.Errorf("clustered α=%v should be < scattered α=%v", aClustered, aScattered)
+	}
+	if len(pClustered.Components) >= len(pScattered.Components) {
+		t.Errorf("component counts should reflect structure: %d vs %d",
+			len(pClustered.Components), len(pScattered.Components))
+	}
+	if err := pClustered.Validate(); err != nil {
+		t.Errorf("selected prior invalid: %v", err)
+	}
+	// The selected α propagates into the prior's base weight.
+	wantBase := aClustered / (aClustered + 12)
+	if pClustered.BaseWeight < wantBase-1e-9 {
+		t.Errorf("base weight %v below CRP mass %v", pClustered.BaseWeight, wantBase)
+	}
+}
+
+func TestSelectAlphaErrors(t *testing.T) {
+	if _, _, err := SelectAlpha(nil, BuildOptions{}); err == nil {
+		t.Error("no tasks accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package dpprior
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func benchPrior(b *testing.B, dim, comps int) *Compiled {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	p := &Prior{Alpha: 1, BaseWeight: 0.1, BaseSigma: 5, Dim: dim}
+	w := 0.9 / float64(comps)
+	for c := 0; c < comps; c++ {
+		mu := make(mat.Vec, dim)
+		for i := range mu {
+			mu[i] = rng.NormFloat64()
+		}
+		sigma := mat.Eye(dim)
+		sigma.ScaleBy(0.3)
+		p.Components = append(p.Components, Component{Weight: w, Mu: mu, Sigma: sigma, Count: 1})
+	}
+	compiled, err := Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return compiled
+}
+
+func BenchmarkCompilePriorD50(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tasks, _ := makeTaskFamily(rng, 8, 50, 3, 10)
+	p, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResponsibilitiesD50(b *testing.B) {
+	c := benchPrior(b, 50, 5)
+	theta := make(mat.Vec, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Responsibilities(theta)
+	}
+}
+
+func BenchmarkSurrogateGradD50(b *testing.B) {
+	c := benchPrior(b, 50, 5)
+	theta := make(mat.Vec, 50)
+	gamma := c.Responsibilities(theta)
+	grad := make(mat.Vec, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mat.Fill(grad, 0)
+		c.SurrogateGrad(theta, gamma, grad)
+	}
+}
+
+func BenchmarkGibbsBuildK16(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tasks, _ := makeTaskFamily(rng, 16, 20, 4, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(tasks, BuildOptions{Alpha: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariationalBuildK16(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tasks, _ := makeTaskFamily(rng, 16, 20, 4, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package dpprior
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// TaskPosterior is the cloud-side summary of one previously solved task:
+// a Gaussian posterior over that task's parameters and the sample count
+// that produced it.
+type TaskPosterior struct {
+	Mu    mat.Vec
+	Sigma *mat.Dense
+	N     int // training samples behind this posterior
+}
+
+// BuildOptions configures prior construction on the cloud.
+type BuildOptions struct {
+	// Alpha is the DP concentration; it sets the base-measure mass
+	// α/(α+K) that a brand-new edge task receives. Must be positive.
+	Alpha float64
+	// MaxComponents truncates the mixture; mass of dropped clusters is
+	// folded into the base measure. Zero means no truncation.
+	MaxComponents int
+	// BaseSigma is the scale of the isotropic base measure. Zero selects
+	// a data-driven default (twice the RMS norm of the task means).
+	BaseSigma float64
+	// ClusterScale is the within-cluster standard deviation used by the
+	// collapsed Gibbs clustering. Zero selects a data-driven default
+	// (the mean task-posterior standard deviation).
+	ClusterScale float64
+	// GibbsIters is the number of collapsed Gibbs sweeps (default 50).
+	GibbsIters int
+	// Seed drives the Gibbs sampler.
+	Seed int64
+}
+
+func (o *BuildOptions) defaults(tasks []TaskPosterior) BuildOptions {
+	out := *o
+	if out.GibbsIters <= 0 {
+		out.GibbsIters = 50
+	}
+	if out.BaseSigma <= 0 {
+		var ss float64
+		for _, t := range tasks {
+			n := mat.Norm2(t.Mu)
+			ss += n * n
+		}
+		out.BaseSigma = 2 * math.Sqrt(ss/float64(len(tasks))+1)
+	}
+	if out.ClusterScale <= 0 {
+		var s float64
+		for _, t := range tasks {
+			s += math.Sqrt(t.Sigma.Trace() / float64(t.Sigma.Rows))
+		}
+		out.ClusterScale = s/float64(len(tasks)) + 1e-6
+	}
+	return out
+}
+
+// Build constructs the DP mixture prior from cloud task posteriors:
+// it clusters the tasks with a collapsed Gibbs sampler for a conjugate
+// spherical DP Gaussian mixture over the task means, then moment-matches
+// one Gaussian component per cluster (within-task posterior covariance
+// plus between-task scatter). Component weights follow the CRP predictive
+// for the next task: w_k = m_k/(α+K), base weight α/(α+K).
+func Build(tasks []TaskPosterior, opts BuildOptions) (*Prior, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("dpprior: Build: no tasks")
+	}
+	if opts.Alpha <= 0 {
+		return nil, fmt.Errorf("dpprior: Build: alpha %g must be positive", opts.Alpha)
+	}
+	dim := len(tasks[0].Mu)
+	for i, t := range tasks {
+		if len(t.Mu) != dim {
+			return nil, fmt.Errorf("dpprior: Build: task %d has dim %d, want %d", i, len(t.Mu), dim)
+		}
+		if t.Sigma == nil || t.Sigma.Rows != dim || t.Sigma.Cols != dim {
+			return nil, fmt.Errorf("dpprior: Build: task %d covariance has wrong shape", i)
+		}
+	}
+	o := opts.defaults(tasks)
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	assign := gibbsCluster(rng, tasks, o)
+	return assemble(tasks, assign, o)
+}
+
+// gibbsCluster runs collapsed Gibbs sweeps over cluster assignments for
+// the task means under the conjugate model
+//
+//	x_j | c ~ N(φ_c, s² I),  φ_c ~ N(0, σ0² I),  partition ~ CRP(α).
+func gibbsCluster(rng *rand.Rand, tasks []TaskPosterior, o BuildOptions) []int {
+	n := len(tasks)
+	dim := len(tasks[0].Mu)
+	s2 := o.ClusterScale * o.ClusterScale
+	sigma02 := o.BaseSigma * o.BaseSigma
+
+	// Cluster state: member counts and coordinate sums.
+	type cluster struct {
+		count int
+		sum   mat.Vec
+	}
+	var clusters []*cluster
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	// Predictive log density of x joining cluster c (nil = new cluster).
+	predictive := func(x mat.Vec, c *cluster) float64 {
+		var postVar, quad float64
+		if c == nil || c.count == 0 {
+			postVar = sigma02 + s2
+			quad = mat.Dot(x, x)
+		} else {
+			prec := 1/sigma02 + float64(c.count)/s2
+			postVar = 1/prec + s2
+			var ss float64
+			for j, v := range x {
+				m := c.sum[j] / s2 / prec
+				d := v - m
+				ss += d * d
+			}
+			quad = ss
+		}
+		return -0.5*float64(dim)*math.Log(2*math.Pi*postVar) - quad/(2*postVar)
+	}
+
+	addTo := func(i, c int) {
+		assign[i] = c
+		clusters[c].count++
+		mat.Axpy(1, tasks[i].Mu, clusters[c].sum)
+	}
+	removeFrom := func(i int) {
+		c := clusters[assign[i]]
+		c.count--
+		mat.Axpy(-1, tasks[i].Mu, c.sum)
+		assign[i] = -1
+	}
+
+	// Sequential initialization then Gibbs sweeps.
+	for sweep := 0; sweep <= o.GibbsIters; sweep++ {
+		for i := 0; i < n; i++ {
+			if assign[i] >= 0 {
+				removeFrom(i)
+			}
+			logp := make([]float64, 0, len(clusters)+1)
+			ids := make([]int, 0, len(clusters)+1)
+			for c, cl := range clusters {
+				if cl.count == 0 {
+					continue
+				}
+				logp = append(logp, math.Log(float64(cl.count))+predictive(tasks[i].Mu, cl))
+				ids = append(ids, c)
+			}
+			logp = append(logp, math.Log(o.Alpha)+predictive(tasks[i].Mu, nil))
+			ids = append(ids, -1)
+
+			probs := mat.Softmax(logp, logp)
+			u := rng.Float64()
+			var acc float64
+			choice := len(probs) - 1
+			for k, p := range probs {
+				acc += p
+				if u < acc {
+					choice = k
+					break
+				}
+			}
+			target := ids[choice]
+			if target == -1 {
+				// Reuse an emptied slot if available, else grow.
+				target = -1
+				for c, cl := range clusters {
+					if cl.count == 0 {
+						target = c
+						break
+					}
+				}
+				if target == -1 {
+					clusters = append(clusters, &cluster{sum: make(mat.Vec, dim)})
+					target = len(clusters) - 1
+				}
+			}
+			addTo(i, target)
+		}
+	}
+	// Renumber clusters densely.
+	remap := map[int]int{}
+	out := make([]int, n)
+	for i, a := range assign {
+		id, ok := remap[a]
+		if !ok {
+			id = len(remap)
+			remap[a] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// assemble moment-matches one component per cluster and applies CRP
+// predictive weights with truncation.
+func assemble(tasks []TaskPosterior, assign []int, o BuildOptions) (*Prior, error) {
+	dim := len(tasks[0].Mu)
+	nClusters := 0
+	for _, a := range assign {
+		if a+1 > nClusters {
+			nClusters = a + 1
+		}
+	}
+	type group struct {
+		members []int
+	}
+	groups := make([]group, nClusters)
+	for i, a := range assign {
+		groups[a].members = append(groups[a].members, i)
+	}
+
+	comps := make([]Component, 0, nClusters)
+	for _, g := range groups {
+		if len(g.members) == 0 {
+			continue
+		}
+		// Sample-count-weighted mean of member means.
+		var totalN float64
+		mu := make(mat.Vec, dim)
+		for _, j := range g.members {
+			w := float64(tasks[j].N)
+			if w <= 0 {
+				w = 1
+			}
+			mat.Axpy(w, tasks[j].Mu, mu)
+			totalN += w
+		}
+		mat.Scale(1/totalN, mu)
+		// Covariance: weighted within-task posterior covariance plus
+		// between-task scatter of the member means.
+		sigma := mat.NewDense(dim, dim)
+		for _, j := range g.members {
+			w := float64(tasks[j].N)
+			if w <= 0 {
+				w = 1
+			}
+			sigma.AddScaled(w/totalN, tasks[j].Sigma)
+			d := mat.SubVec(tasks[j].Mu, mu)
+			sigma.OuterAdd(w/totalN, d, d)
+		}
+		sigma.Symmetrize()
+		comps = append(comps, Component{
+			Mu:    mu,
+			Sigma: sigma,
+			Count: float64(len(g.members)),
+		})
+	}
+
+	k := float64(len(tasks))
+	base := o.Alpha / (o.Alpha + k)
+	for i := range comps {
+		comps[i].Weight = comps[i].Count / (o.Alpha + k)
+	}
+
+	// Truncate: keep the heaviest clusters, fold dropped mass into base.
+	if o.MaxComponents > 0 && len(comps) > o.MaxComponents {
+		sort.Slice(comps, func(i, j int) bool { return comps[i].Weight > comps[j].Weight })
+		for _, c := range comps[o.MaxComponents:] {
+			base += c.Weight
+		}
+		comps = comps[:o.MaxComponents]
+	}
+
+	p := &Prior{
+		Alpha:      o.Alpha,
+		Components: comps,
+		BaseWeight: base,
+		BaseSigma:  o.BaseSigma,
+		Dim:        dim,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dpprior: assemble: %w", err)
+	}
+	return p, nil
+}
+
+// BuildDPMeans is a deterministic, fast alternative to Build: it clusters
+// task means with the DP-means algorithm (k-means with a new-cluster
+// penalty λ) and then assembles components exactly as Build does. Useful
+// when the cloud must rebuild priors at high rate; used by the systems
+// ablation in Table 4.
+func BuildDPMeans(tasks []TaskPosterior, lambda float64, opts BuildOptions) (*Prior, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("dpprior: BuildDPMeans: no tasks")
+	}
+	if opts.Alpha <= 0 {
+		return nil, fmt.Errorf("dpprior: BuildDPMeans: alpha %g must be positive", opts.Alpha)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("dpprior: BuildDPMeans: lambda %g must be positive", lambda)
+	}
+	o := opts.defaults(tasks)
+	dim := len(tasks[0].Mu)
+
+	centers := []mat.Vec{mat.CloneVec(tasks[0].Mu)}
+	assign := make([]int, len(tasks))
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, t := range tasks {
+			best, bestD := -1, lambda
+			for c, center := range centers {
+				if d := mat.Dist2(t.Mu, center); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best == -1 {
+				centers = append(centers, mat.CloneVec(t.Mu))
+				best = len(centers) - 1
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers.
+		counts := make([]float64, len(centers))
+		for c := range centers {
+			centers[c] = make(mat.Vec, dim)
+		}
+		for i, t := range tasks {
+			mat.Axpy(1, t.Mu, centers[assign[i]])
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				mat.Scale(1/counts[c], centers[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Renumber densely (empty clusters possible after recompute).
+	remap := map[int]int{}
+	for i, a := range assign {
+		id, ok := remap[a]
+		if !ok {
+			id = len(remap)
+			remap[a] = id
+		}
+		assign[i] = id
+	}
+	return assemble(tasks, assign, o)
+}

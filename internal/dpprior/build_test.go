@@ -1,0 +1,213 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// makeTaskFamily creates K task posteriors drawn around nClusters ground-
+// truth centers, returning the tasks and their true cluster labels.
+func makeTaskFamily(rng *rand.Rand, k, dim, nClusters int, sep float64) ([]TaskPosterior, []int) {
+	centers := make([]mat.Vec, nClusters)
+	for c := range centers {
+		centers[c] = make(mat.Vec, dim)
+		for j := range centers[c] {
+			centers[c][j] = sep * rng.NormFloat64()
+		}
+	}
+	tasks := make([]TaskPosterior, k)
+	labels := make([]int, k)
+	for i := range tasks {
+		c := i % nClusters
+		labels[i] = c
+		mu := mat.CloneVec(centers[c])
+		for j := range mu {
+			mu[j] += 0.2 * rng.NormFloat64()
+		}
+		sigma := mat.Eye(dim)
+		sigma.ScaleBy(0.05)
+		tasks[i] = TaskPosterior{Mu: mu, Sigma: sigma, N: 100 + rng.Intn(100)}
+	}
+	return tasks, labels
+}
+
+func TestBuildRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	tasks, labels := makeTaskFamily(rng, 12, 4, 3, 10)
+	p, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 99, GibbsIters: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("built prior invalid: %v", err)
+	}
+	if len(p.Components) < 2 || len(p.Components) > 5 {
+		t.Errorf("found %d components for 3 well-separated clusters", len(p.Components))
+	}
+	// Every true cluster center should be near some component mean.
+	for c := 0; c < 3; c++ {
+		// Center = mean of members' means.
+		center := make(mat.Vec, 4)
+		var n float64
+		for i, l := range labels {
+			if l == c {
+				mat.Axpy(1, tasks[i].Mu, center)
+				n++
+			}
+		}
+		mat.Scale(1/n, center)
+		best := math.Inf(1)
+		for _, comp := range p.Components {
+			if d := mat.Dist2(comp.Mu, center); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("true cluster %d center is %.2f from nearest component", c, best)
+		}
+	}
+}
+
+func TestBuildBaseWeightFollowsAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tasks, _ := makeTaskFamily(rng, 8, 3, 2, 8)
+	for _, alpha := range []float64{0.1, 1, 10} {
+		p, err := Build(tasks, BuildOptions{Alpha: alpha, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := alpha / (alpha + 8)
+		// Truncation may fold extra mass into base; it can only be >= CRP mass.
+		if p.BaseWeight < want-1e-9 {
+			t.Errorf("alpha=%v: base weight %v < CRP mass %v", alpha, p.BaseWeight, want)
+		}
+	}
+}
+
+func TestBuildTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	tasks, _ := makeTaskFamily(rng, 20, 3, 6, 12)
+	p, err := Build(tasks, BuildOptions{Alpha: 1, MaxComponents: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) > 2 {
+		t.Errorf("truncation to 2 produced %d components", len(p.Components))
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("truncated prior invalid: %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tasks, _ := makeTaskFamily(rng, 4, 3, 2, 5)
+	if _, err := Build(nil, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("Build with no tasks should fail")
+	}
+	if _, err := Build(tasks, BuildOptions{Alpha: 0}); err == nil {
+		t.Error("Build with alpha=0 should fail")
+	}
+	bad := append([]TaskPosterior(nil), tasks...)
+	bad[1].Mu = mat.Vec{1}
+	if _, err := Build(bad, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("Build with mismatched dims should fail")
+	}
+	bad2 := append([]TaskPosterior(nil), tasks...)
+	bad2[0].Sigma = mat.NewDense(2, 3)
+	if _, err := Build(bad2, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("Build with bad covariance shape should fail")
+	}
+}
+
+func TestBuildSingleTask(t *testing.T) {
+	sigma := mat.Eye(2)
+	tasks := []TaskPosterior{{Mu: mat.Vec{1, 2}, Sigma: sigma, N: 50}}
+	p, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 1 {
+		t.Fatalf("single task produced %d components", len(p.Components))
+	}
+	if mat.Dist2(p.Components[0].Mu, mat.Vec{1, 2}) > 1e-9 {
+		t.Errorf("component mean %v, want {1,2}", p.Components[0].Mu)
+	}
+	// Weight split 1/(1+1) vs 1/(1+1).
+	if math.Abs(p.Components[0].Weight-0.5) > 1e-9 || math.Abs(p.BaseWeight-0.5) > 1e-9 {
+		t.Errorf("weights %v/%v, want 0.5/0.5", p.Components[0].Weight, p.BaseWeight)
+	}
+}
+
+func TestBuildComponentCovarianceIncludesScatter(t *testing.T) {
+	// Two tasks far apart that Gibbs should *merge only if scale says so*;
+	// force them into one cluster by using a large ClusterScale, and check
+	// the resulting covariance captures the between-mean scatter.
+	sigma := mat.Eye(1)
+	sigma.ScaleBy(0.01)
+	tasks := []TaskPosterior{
+		{Mu: mat.Vec{-1}, Sigma: sigma.Clone(), N: 10},
+		{Mu: mat.Vec{1}, Sigma: sigma.Clone(), N: 10},
+	}
+	p, err := Build(tasks, BuildOptions{Alpha: 0.01, ClusterScale: 100, BaseSigma: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 1 {
+		t.Skipf("Gibbs kept tasks separate (%d comps); scatter check needs a merge", len(p.Components))
+	}
+	// Between-scatter: mean 0, variance 1 (plus 0.01 within) ≈ 1.01.
+	gotVar := p.Components[0].Sigma.At(0, 0)
+	if math.Abs(gotVar-1.01) > 0.05 {
+		t.Errorf("merged covariance %v, want ≈ 1.01 (within + scatter)", gotVar)
+	}
+}
+
+func TestBuildDPMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tasks, _ := makeTaskFamily(rng, 12, 4, 3, 10)
+	p, err := BuildDPMeans(tasks, 5, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DP-means prior invalid: %v", err)
+	}
+	if len(p.Components) < 2 {
+		t.Errorf("DP-means found %d components for 3 separated clusters", len(p.Components))
+	}
+	// Errors.
+	if _, err := BuildDPMeans(nil, 5, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("no tasks should fail")
+	}
+	if _, err := BuildDPMeans(tasks, 0, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := BuildDPMeans(tasks, 5, BuildOptions{Alpha: 0}); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+}
+
+func TestBuildDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	tasks, _ := makeTaskFamily(rng, 10, 3, 2, 8)
+	p1, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Components) != len(p2.Components) {
+		t.Fatalf("same seed produced %d vs %d components", len(p1.Components), len(p2.Components))
+	}
+	for i := range p1.Components {
+		if mat.Dist2(p1.Components[i].Mu, p2.Components[i].Mu) > 1e-12 {
+			t.Errorf("component %d means differ across identical runs", i)
+		}
+	}
+}

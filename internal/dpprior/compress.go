@@ -1,0 +1,104 @@
+package dpprior
+
+import (
+	"fmt"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// CompressionLevel selects how much covariance structure the wire prior
+// keeps. Full covariances cost O(d²) floats per component; constrained
+// uplinks (Table 4) often cannot afford that for high-dimensional models.
+type CompressionLevel int
+
+const (
+	// FullCovariance keeps the dense d×d matrices (no compression).
+	FullCovariance CompressionLevel = iota
+	// DiagonalCovariance keeps only the variances: d floats/component,
+	// preserving per-coordinate confidence but dropping correlations.
+	DiagonalCovariance
+	// SphericalCovariance keeps one variance per component (the mean of
+	// the diagonal): 1 float/component, maximal compression.
+	SphericalCovariance
+)
+
+// String names the level.
+func (c CompressionLevel) String() string {
+	switch c {
+	case FullCovariance:
+		return "full"
+	case DiagonalCovariance:
+		return "diagonal"
+	case SphericalCovariance:
+		return "spherical"
+	default:
+		return fmt.Sprintf("CompressionLevel(%d)", int(c))
+	}
+}
+
+// Compress returns a copy of the prior with every component covariance
+// reduced to the requested level. The result is a valid prior whose
+// density is an approximation of the original; weights, means and the
+// base measure are untouched. Compressing an already-compressed prior is
+// a no-op at equal or looser levels.
+func (p *Prior) Compress(level CompressionLevel) (*Prior, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Prior{
+		Alpha:      p.Alpha,
+		BaseWeight: p.BaseWeight,
+		BaseSigma:  p.BaseSigma,
+		Dim:        p.Dim,
+		Components: make([]Component, len(p.Components)),
+	}
+	for i, c := range p.Components {
+		nc := Component{
+			Weight: c.Weight,
+			Mu:     mat.CloneVec(c.Mu),
+			Count:  c.Count,
+		}
+		switch level {
+		case FullCovariance:
+			nc.Sigma = c.Sigma.Clone()
+		case DiagonalCovariance:
+			d := make(mat.Vec, p.Dim)
+			for j := 0; j < p.Dim; j++ {
+				d[j] = c.Sigma.At(j, j)
+			}
+			nc.Sigma = mat.Diag(d)
+		case SphericalCovariance:
+			v := c.Sigma.Trace() / float64(p.Dim)
+			d := make(mat.Vec, p.Dim)
+			mat.Fill(d, v)
+			nc.Sigma = mat.Diag(d)
+		default:
+			return nil, fmt.Errorf("dpprior: Compress: unknown level %d", int(level))
+		}
+		out.Components[i] = nc
+	}
+	return out, nil
+}
+
+// EffectiveWireSize returns the bytes a level-compressed encoding needs,
+// assuming the covariance is stored at its natural density (d² floats
+// full, d diagonal, 1 spherical). The gob encoding of a compressed Prior
+// still ships d² floats (mostly zeros); production deployments would use
+// the compact encoding this function models, so Table 4 reports it.
+func (p *Prior) EffectiveWireSize(level CompressionLevel) int {
+	const f64 = 8
+	size := 4 * f64
+	for _, c := range p.Components {
+		covFloats := 0
+		switch level {
+		case FullCovariance:
+			covFloats = len(c.Sigma.Data)
+		case DiagonalCovariance:
+			covFloats = p.Dim
+		case SphericalCovariance:
+			covFloats = 1
+		}
+		size += f64 * (2 + len(c.Mu) + covFloats)
+	}
+	return size
+}

@@ -1,0 +1,143 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func corrPrior() *Prior {
+	sigma := mat.FromRows([][]float64{{1, 0.8}, {0.8, 1}})
+	return &Prior{
+		Alpha: 1,
+		Components: []Component{
+			{Weight: 0.9, Mu: mat.Vec{1, -1}, Sigma: sigma, Count: 3},
+		},
+		BaseWeight: 0.1,
+		BaseSigma:  5,
+		Dim:        2,
+	}
+}
+
+func TestCompressDiagonal(t *testing.T) {
+	p := corrPrior()
+	c, err := p.Compress(DiagonalCovariance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compressed prior invalid: %v", err)
+	}
+	s := c.Components[0].Sigma
+	if s.At(0, 0) != 1 || s.At(1, 1) != 1 {
+		t.Errorf("diagonal lost: %+v", s)
+	}
+	if s.At(0, 1) != 0 || s.At(1, 0) != 0 {
+		t.Errorf("correlations kept: %+v", s)
+	}
+	// Original untouched.
+	if p.Components[0].Sigma.At(0, 1) != 0.8 {
+		t.Error("Compress mutated original")
+	}
+}
+
+func TestCompressSpherical(t *testing.T) {
+	p := corrPrior()
+	p.Components[0].Sigma = mat.Diag(mat.Vec{2, 4})
+	c, err := p.Compress(SphericalCovariance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Components[0].Sigma
+	if s.At(0, 0) != 3 || s.At(1, 1) != 3 {
+		t.Errorf("spherical variance should be mean 3: %+v", s)
+	}
+}
+
+func TestCompressFullIsClone(t *testing.T) {
+	p := corrPrior()
+	c, err := p.Compress(FullCovariance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Components[0].Sigma.Equal(p.Components[0].Sigma, 0) {
+		t.Error("full compression changed covariance")
+	}
+	c.Components[0].Sigma.Set(0, 0, 99)
+	if p.Components[0].Sigma.At(0, 0) == 99 {
+		t.Error("full compression aliased storage")
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	p := corrPrior()
+	if _, err := p.Compress(CompressionLevel(42)); err == nil {
+		t.Error("unknown level accepted")
+	}
+	bad := corrPrior()
+	bad.Alpha = -1
+	if _, err := bad.Compress(DiagonalCovariance); err == nil {
+		t.Error("invalid prior accepted")
+	}
+}
+
+func TestEffectiveWireSize(t *testing.T) {
+	p := corrPrior() // 1 component, dim 2
+	full := p.EffectiveWireSize(FullCovariance)
+	diag := p.EffectiveWireSize(DiagonalCovariance)
+	sph := p.EffectiveWireSize(SphericalCovariance)
+	if !(sph < diag && diag < full) {
+		t.Errorf("sizes not ordered: %d %d %d", sph, diag, full)
+	}
+	// full: 4 + (2+2+4) = 12 floats; diag: 4+(2+2+2)=10; sph: 4+(2+2+1)=9.
+	if full != 12*8 || diag != 10*8 || sph != 9*8 {
+		t.Errorf("sizes %d/%d/%d, want 96/80/72", full, diag, sph)
+	}
+	if p.WireSize() != full {
+		t.Errorf("WireSize %d disagrees with full effective %d", p.WireSize(), full)
+	}
+}
+
+func TestCompressionLevelString(t *testing.T) {
+	for level, want := range map[CompressionLevel]string{
+		FullCovariance: "full", DiagonalCovariance: "diagonal", SphericalCovariance: "spherical",
+	} {
+		if got := level.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCompressedPriorStillUseful(t *testing.T) {
+	// A diagonal-compressed prior must compile and give a density close
+	// to the full prior away from strong-correlation directions.
+	rng := rand.New(rand.NewSource(200))
+	tasks, _ := makeTaskFamily(rng, 8, 5, 2, 8)
+	p, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := p.Compress(DiagonalCovariance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Compile(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each component mean both densities are high and within a few
+	// nats of each other (they share means and marginal variances).
+	for _, comp := range p.Components {
+		lf := cf.LogDensity(comp.Mu)
+		ld := cd.LogDensity(comp.Mu)
+		if math.Abs(lf-ld) > 10 {
+			t.Errorf("densities diverge at a component mean: full %v diag %v", lf, ld)
+		}
+	}
+}

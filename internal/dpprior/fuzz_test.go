@@ -1,0 +1,47 @@
+package dpprior
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// FuzzDecodePrior hardens the wire decoder: arbitrary bytes must produce
+// either a validated prior or an error — never a panic or an un-Validated
+// prior (which could carry NaNs or negative weights into training).
+func FuzzDecodePrior(f *testing.F) {
+	// Seed with a real encoding plus mutations-to-be.
+	valid := &Prior{
+		Alpha: 1,
+		Components: []Component{
+			{Weight: 0.7, Mu: mat.Vec{1, 2}, Sigma: mat.Eye(2), Count: 2},
+		},
+		BaseWeight: 0.3,
+		BaseSigma:  5,
+		Dim:        2,
+	}
+	var buf bytes.Buffer
+	if err := valid.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be structurally valid and compilable or
+		// rejected by Compile with an error (never a panic).
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("Decode returned an invalid prior: %v", vErr)
+		}
+		if _, cErr := Compile(p); cErr != nil {
+			// Rejection is fine (e.g. non-PSD covariance); panics are not,
+			// and would fail the fuzz run on their own.
+			return
+		}
+	})
+}

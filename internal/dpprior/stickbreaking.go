@@ -1,0 +1,196 @@
+// Package dpprior implements the Dirichlet-process machinery that carries
+// cloud knowledge to edge devices in drdp: stick-breaking weight
+// construction, Chinese-restaurant-process partitions, a truncated DP
+// Gaussian-mixture fit over cloud task posteriors (collapsed Gibbs with a
+// DP-means fast path), and the serializable Prior object that edges
+// receive over the wire.
+//
+// The prior over edge parameters θ has the truncated stick-breaking form
+//
+//	p(θ) = Σ_k w_k N(θ; μ_k, Σ_k) + w_0 N(θ; 0, σ0² I)
+//
+// where the components summarize clusters of cloud tasks and the base
+// term is the DP's "new cluster" escape hatch with mass governed by the
+// concentration α.
+package dpprior
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// StickBreaking draws truncated stick-breaking weights for a DP with
+// concentration alpha: v_k ~ Beta(1, alpha), w_k = v_k Π_{j<k}(1-v_j),
+// for k = 1..t, with the leftover stick returned as the final remainder.
+// The returned weights slice has length t and sums to 1-remainder.
+func StickBreaking(rng *rand.Rand, alpha float64, t int) (weights []float64, remainder float64) {
+	if alpha <= 0 {
+		panic(fmt.Sprintf("dpprior: StickBreaking: alpha must be positive, got %g", alpha))
+	}
+	if t <= 0 {
+		panic(fmt.Sprintf("dpprior: StickBreaking: truncation must be positive, got %d", t))
+	}
+	weights = make([]float64, t)
+	stick := 1.0
+	for k := 0; k < t; k++ {
+		v := betaSample(rng, 1, alpha)
+		weights[k] = v * stick
+		stick *= 1 - v
+	}
+	return weights, stick
+}
+
+// ExpectedStickWeights returns the mean of the truncated stick-breaking
+// weights, E[w_k] = (1/(1+α)) (α/(1+α))^k, plus the expected remainder.
+// These are the deterministic weights used when the prior is built without
+// Monte-Carlo stick draws.
+func ExpectedStickWeights(alpha float64, t int) (weights []float64, remainder float64) {
+	if alpha <= 0 || t <= 0 {
+		panic(fmt.Sprintf("dpprior: ExpectedStickWeights: invalid alpha=%g t=%d", alpha, t))
+	}
+	weights = make([]float64, t)
+	stick := 1.0
+	frac := 1 / (1 + alpha)
+	for k := 0; k < t; k++ {
+		weights[k] = frac * stick
+		stick *= 1 - frac
+	}
+	return weights, stick
+}
+
+// StickBreakingPY draws truncated Pitman–Yor stick-breaking weights:
+// v_k ~ Beta(1−discount, alpha + (k+1)·discount). discount = 0 recovers
+// the Dirichlet process; discount ∈ (0,1) produces power-law cluster
+// sizes, matching task populations with a long tail of rare task types.
+func StickBreakingPY(rng *rand.Rand, discount, alpha float64, t int) (weights []float64, remainder float64) {
+	if discount < 0 || discount >= 1 {
+		panic(fmt.Sprintf("dpprior: StickBreakingPY: discount %g must be in [0,1)", discount))
+	}
+	if alpha <= -discount {
+		panic(fmt.Sprintf("dpprior: StickBreakingPY: alpha %g must exceed -discount", alpha))
+	}
+	if t <= 0 {
+		panic(fmt.Sprintf("dpprior: StickBreakingPY: truncation must be positive, got %d", t))
+	}
+	weights = make([]float64, t)
+	stick := 1.0
+	for k := 0; k < t; k++ {
+		v := betaSample(rng, 1-discount, alpha+float64(k+1)*discount)
+		weights[k] = v * stick
+		stick *= 1 - v
+	}
+	return weights, stick
+}
+
+// CRPPY samples a Pitman–Yor generalized CRP partition: a customer joins
+// table t with probability ∝ (count_t − discount) and starts a new table
+// with probability ∝ (alpha + tables·discount).
+func CRPPY(rng *rand.Rand, n int, discount, alpha float64) []int {
+	if discount < 0 || discount >= 1 {
+		panic(fmt.Sprintf("dpprior: CRPPY: discount %g must be in [0,1)", discount))
+	}
+	if alpha <= -discount {
+		panic(fmt.Sprintf("dpprior: CRPPY: alpha %g must exceed -discount", alpha))
+	}
+	assign := make([]int, n)
+	var counts []float64
+	for i := 0; i < n; i++ {
+		newMass := alpha + float64(len(counts))*discount
+		total := float64(i) - float64(len(counts))*discount + newMass
+		u := rng.Float64() * total
+		var acc float64
+		table := len(counts)
+		for t, c := range counts {
+			acc += c - discount
+			if u < acc {
+				table = t
+				break
+			}
+		}
+		if table == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[table]++
+		assign[i] = table
+	}
+	return assign
+}
+
+// CRP samples a Chinese-restaurant-process partition of n items with
+// concentration alpha, returning per-item table assignments (0-based,
+// tables numbered in order of first occupancy).
+func CRP(rng *rand.Rand, n int, alpha float64) []int {
+	if alpha <= 0 {
+		panic(fmt.Sprintf("dpprior: CRP: alpha must be positive, got %g", alpha))
+	}
+	assign := make([]int, n)
+	var counts []float64
+	for i := 0; i < n; i++ {
+		total := float64(i) + alpha
+		u := rng.Float64() * total
+		var acc float64
+		table := len(counts) // default: new table
+		for t, c := range counts {
+			acc += c
+			if u < acc {
+				table = t
+				break
+			}
+		}
+		if table == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[table]++
+		assign[i] = table
+	}
+	return assign
+}
+
+// ExpectedTables returns the expected number of occupied CRP tables for n
+// customers at concentration alpha: Σ_{i=0}^{n-1} α/(α+i) ≈ α log(1+n/α).
+func ExpectedTables(alpha float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += alpha / (alpha + float64(i))
+	}
+	return s
+}
+
+// betaSample draws Beta(a, b) via the Gamma ratio, inlined here to keep
+// dpprior independent of package stat's sampling helpers in this hot path.
+func betaSample(rng *rand.Rand, a, b float64) float64 {
+	x := gammaSample(rng, a)
+	y := gammaSample(rng, b)
+	return x / (x + y)
+}
+
+// gammaSample draws Gamma(shape=a, rate=1) by Marsaglia–Tsang.
+func gammaSample(rng *rand.Rand, a float64) float64 {
+	boost := 1.0
+	if a < 1 {
+		boost = math.Pow(rng.Float64(), 1/a)
+		a++
+	}
+	d := a - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return boost * d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return boost * d * v
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStickBreakingSimplexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(rawAlpha float64, rawT uint8) bool {
+		alpha := math.Mod(math.Abs(rawAlpha), 20) + 0.01
+		tr := int(rawT%30) + 1
+		w, rem := StickBreaking(rng, alpha, tr)
+		if len(w) != tr || rem < 0 || rem > 1 {
+			return false
+		}
+		total := rem
+		for _, v := range w {
+			if v < 0 || v > 1 {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStickBreakingSmallAlphaConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// With tiny alpha the first stick takes nearly everything.
+	var first float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		w, _ := StickBreaking(rng, 0.05, 10)
+		first += w[0]
+	}
+	if first/trials < 0.9 {
+		t.Errorf("E[w_0] at alpha=0.05 is %v, expected > 0.9", first/trials)
+	}
+}
+
+func TestStickBreakingLargeAlphaSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var first, rem float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		w, r := StickBreaking(rng, 50, 10)
+		first += w[0]
+		rem += r
+	}
+	if first/trials > 0.1 {
+		t.Errorf("E[w_0] at alpha=50 is %v, expected < 0.1", first/trials)
+	}
+	if rem/trials < 0.5 {
+		t.Errorf("E[remainder] at alpha=50, T=10 is %v, expected large", rem/trials)
+	}
+}
+
+func TestStickBreakingPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct {
+		alpha float64
+		t     int
+	}{{0, 5}, {-1, 5}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StickBreaking(%v, %v) did not panic", tc.alpha, tc.t)
+				}
+			}()
+			StickBreaking(rng, tc.alpha, tc.t)
+		}()
+	}
+}
+
+func TestExpectedStickWeights(t *testing.T) {
+	w, rem := ExpectedStickWeights(1, 3)
+	// E[w_k] = (1/2)^(k+1): 1/2, 1/4, 1/8, remainder 1/8.
+	want := []float64{0.5, 0.25, 0.125}
+	for i, v := range want {
+		if math.Abs(w[i]-v) > 1e-12 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], v)
+		}
+	}
+	if math.Abs(rem-0.125) > 1e-12 {
+		t.Errorf("remainder = %v, want 0.125", rem)
+	}
+}
+
+func TestExpectedStickMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alpha, tr := 2.0, 5
+	want, _ := ExpectedStickWeights(alpha, tr)
+	got := make([]float64, tr)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		w, _ := StickBreaking(rng, alpha, tr)
+		for j, v := range w {
+			got[j] += v
+		}
+	}
+	for j := range got {
+		got[j] /= trials
+		if math.Abs(got[j]-want[j]) > 0.01 {
+			t.Errorf("E[w_%d]: MC %v vs analytic %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestCRPBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	assign := CRP(rng, 100, 1)
+	if len(assign) != 100 {
+		t.Fatalf("CRP returned %d assignments", len(assign))
+	}
+	if assign[0] != 0 {
+		t.Error("first customer must sit at table 0")
+	}
+	// Tables must be numbered contiguously in order of first occupancy.
+	maxSeen := -1
+	for _, a := range assign {
+		if a < 0 {
+			t.Fatalf("negative table %d", a)
+		}
+		if a > maxSeen+1 {
+			t.Fatalf("table numbering skipped: saw %d after max %d", a, maxSeen)
+		}
+		if a > maxSeen {
+			maxSeen = a
+		}
+	}
+}
+
+func TestCRPTableGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	countTables := func(alpha float64) float64 {
+		const trials = 300
+		var total float64
+		for i := 0; i < trials; i++ {
+			assign := CRP(rng, 200, alpha)
+			max := 0
+			for _, a := range assign {
+				if a > max {
+					max = a
+				}
+			}
+			total += float64(max + 1)
+		}
+		return total / trials
+	}
+	small := countTables(0.5)
+	large := countTables(10)
+	if small >= large {
+		t.Errorf("tables(alpha=0.5)=%v should be < tables(alpha=10)=%v", small, large)
+	}
+	// Compare against the exact expectation.
+	want := ExpectedTables(10, 200)
+	if math.Abs(large-want) > 0.15*want {
+		t.Errorf("tables at alpha=10: MC %v vs analytic %v", large, want)
+	}
+}
+
+func TestStickBreakingPYSimplexAndDPLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Simplex property across parameters.
+	for _, d := range []float64{0, 0.3, 0.7} {
+		for trial := 0; trial < 50; trial++ {
+			w, rem := StickBreakingPY(rng, d, 1, 12)
+			total := rem
+			for _, v := range w {
+				if v < 0 || v > 1 {
+					t.Fatalf("weight %v out of range", v)
+				}
+				total += v
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Fatalf("total %v", total)
+			}
+		}
+	}
+	// discount=0 matches the DP expectation E[w_0] = 1/(1+α).
+	var first float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		w, _ := StickBreakingPY(rng, 0, 2, 5)
+		first += w[0]
+	}
+	if math.Abs(first/trials-1.0/3) > 0.01 {
+		t.Errorf("PY(0, 2) E[w_0] = %v, want 1/3", first/trials)
+	}
+}
+
+func TestStickBreakingPYPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range []struct{ d, a float64 }{{-0.1, 1}, {1, 1}, {0.5, -0.6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StickBreakingPY(%v, %v) did not panic", tc.d, tc.a)
+				}
+			}()
+			StickBreakingPY(rng, tc.d, tc.a, 5)
+		}()
+	}
+}
+
+func TestCRPPYPowerLawTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tables := func(d float64) float64 {
+		const trials = 200
+		var total float64
+		for i := 0; i < trials; i++ {
+			assign := CRPPY(rng, 500, d, 1)
+			max := 0
+			for _, a := range assign {
+				if a > max {
+					max = a
+				}
+			}
+			total += float64(max + 1)
+		}
+		return total / trials
+	}
+	dp := tables(0)
+	py := tables(0.5)
+	// PY with positive discount produces many more tables (n^d growth
+	// vs log n).
+	if py < 2*dp {
+		t.Errorf("PY tables %v not ≫ DP tables %v", py, dp)
+	}
+	// discount=0 matches the DP analytic expectation.
+	if want := ExpectedTables(1, 500); math.Abs(dp-want) > 0.15*want {
+		t.Errorf("CRPPY(d=0) tables %v vs DP analytic %v", dp, want)
+	}
+}
+
+func TestExpectedTables(t *testing.T) {
+	// n=1: exactly 1 table regardless of alpha.
+	if got := ExpectedTables(3, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ExpectedTables(3,1) = %v, want 1", got)
+	}
+	// n=2, alpha=1: 1 + 1/2.
+	if got := ExpectedTables(1, 2); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("ExpectedTables(1,2) = %v, want 1.5", got)
+	}
+}

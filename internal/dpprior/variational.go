@@ -1,0 +1,166 @@
+package dpprior
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/stat"
+)
+
+// BuildVariational constructs the DP mixture prior like Build, but
+// clusters the task posteriors with truncated stick-breaking
+// coordinate-ascent variational inference (Blei & Jordan 2006) instead of
+// collapsed Gibbs. Deterministic given the inputs, typically faster for
+// larger K, and used by the prior-construction ablation (Table 5).
+//
+// Variational family: q(v_t) Beta, q(φ_t) spherical Gaussian, q(z_j)
+// categorical; likelihood x_j | z_j=t ~ N(φ_t, s² I) with φ_t ~ N(0, σ0² I)
+// exactly as in the Gibbs fit. truncation bounds the number of clusters
+// considered (≤ number of tasks; 0 picks min(K, 20)).
+func BuildVariational(tasks []TaskPosterior, truncation int, opts BuildOptions) (*Prior, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("dpprior: BuildVariational: no tasks")
+	}
+	if opts.Alpha <= 0 {
+		return nil, fmt.Errorf("dpprior: BuildVariational: alpha %g must be positive", opts.Alpha)
+	}
+	dim := len(tasks[0].Mu)
+	for i, t := range tasks {
+		if len(t.Mu) != dim {
+			return nil, fmt.Errorf("dpprior: BuildVariational: task %d has dim %d, want %d",
+				i, len(t.Mu), dim)
+		}
+		if t.Sigma == nil || t.Sigma.Rows != dim || t.Sigma.Cols != dim {
+			return nil, fmt.Errorf("dpprior: BuildVariational: task %d covariance has wrong shape", i)
+		}
+	}
+	o := opts.defaults(tasks)
+	n := len(tasks)
+	tr := truncation
+	if tr <= 0 {
+		tr = n
+		if tr > 20 {
+			tr = 20
+		}
+	}
+	if tr > n {
+		tr = n
+	}
+
+	s2 := o.ClusterScale * o.ClusterScale
+	sigma02 := o.BaseSigma * o.BaseSigma
+	d := float64(dim)
+
+	// Variational parameters.
+	gamma1 := make([]float64, tr) // Beta(γ1, γ2) for sticks
+	gamma2 := make([]float64, tr)
+	means := make([]mat.Vec, tr) // q(φ_t) means
+	tau2 := make([]float64, tr)  // q(φ_t) spherical variances
+	resp := mat.NewDense(n, tr)  // q(z_j)
+	logits := make(mat.Vec, tr)
+
+	// Init: responsibilities spread by a deterministic round-robin with a
+	// slight tilt toward distinct anchors so symmetric fixed points break.
+	for t := 0; t < tr; t++ {
+		gamma1[t], gamma2[t] = 1, o.Alpha
+		means[t] = mat.CloneVec(tasks[t%n].Mu)
+		tau2[t] = sigma02
+	}
+	for j := 0; j < n; j++ {
+		for t := 0; t < tr; t++ {
+			switch {
+			case tr == 1:
+				resp.Set(j, t, 1)
+			case t == j%tr:
+				resp.Set(j, t, 0.8)
+			default:
+				resp.Set(j, t, 0.2/float64(tr-1))
+			}
+		}
+	}
+
+	const iters = 200
+	prev := mat.NewDense(n, tr)
+	for iter := 0; iter < iters; iter++ {
+		// Update sticks: γ_t1 = 1 + N_t, γ_t2 = α + Σ_{l>t} N_l.
+		counts := make([]float64, tr)
+		for j := 0; j < n; j++ {
+			for t := 0; t < tr; t++ {
+				counts[t] += resp.At(j, t)
+			}
+		}
+		tail := 0.0
+		for t := tr - 1; t >= 0; t-- {
+			gamma1[t] = 1 + counts[t]
+			gamma2[t] = o.Alpha + tail
+			tail += counts[t]
+		}
+
+		// Update cluster factors.
+		for t := 0; t < tr; t++ {
+			prec := 1/sigma02 + counts[t]/s2
+			tau2[t] = 1 / prec
+			m := make(mat.Vec, dim)
+			for j := 0; j < n; j++ {
+				if r := resp.At(j, t); r > 0 {
+					mat.Axpy(r, tasks[j].Mu, m)
+				}
+			}
+			mat.Scale(1/(s2*prec), m)
+			means[t] = m
+		}
+
+		// Update responsibilities.
+		copy(prev.Data, resp.Data)
+		// Precompute E[log v_t] and E[log(1-v_t)] prefix sums.
+		elogv := make([]float64, tr)
+		elog1mv := make([]float64, tr)
+		for t := 0; t < tr; t++ {
+			denom := stat.Digamma(gamma1[t] + gamma2[t])
+			elogv[t] = stat.Digamma(gamma1[t]) - denom
+			elog1mv[t] = stat.Digamma(gamma2[t]) - denom
+		}
+		for j := 0; j < n; j++ {
+			var prefix float64
+			for t := 0; t < tr; t++ {
+				dd := mat.Dist2(tasks[j].Mu, means[t])
+				logits[t] = elogv[t] + prefix -
+					(dd*dd+d*tau2[t])/(2*s2)
+				prefix += elog1mv[t]
+			}
+			mat.Softmax(logits, logits)
+			for t := 0; t < tr; t++ {
+				resp.Set(j, t, logits[t])
+			}
+		}
+
+		// Converged when responsibilities stop moving.
+		var change float64
+		for i, v := range resp.Data {
+			if c := math.Abs(v - prev.Data[i]); c > change {
+				change = c
+			}
+		}
+		if change < 1e-8 && iter > 2 {
+			break
+		}
+	}
+
+	// Harden assignments and reuse the shared moment-matching assembly.
+	assign := make([]int, n)
+	for j := 0; j < n; j++ {
+		assign[j] = mat.ArgMax(resp.Row(j))
+	}
+	// Renumber densely.
+	remap := map[int]int{}
+	for j, a := range assign {
+		id, ok := remap[a]
+		if !ok {
+			id = len(remap)
+			remap[a] = id
+		}
+		assign[j] = id
+	}
+	return assemble(tasks, assign, o)
+}

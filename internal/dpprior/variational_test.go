@@ -1,0 +1,165 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/stat"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gammaEuler = 0.5772156649015329
+	tests := []struct {
+		x, want float64
+	}{
+		{1, -gammaEuler},
+		{0.5, -gammaEuler - 2*math.Log(2)},
+		{2, 1 - gammaEuler},
+		{10, 2.251752589066721},
+	}
+	for _, tt := range tests {
+		if got := stat.Digamma(tt.x); math.Abs(got-tt.want) > 1e-10 {
+			t.Errorf("Digamma(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	// Recurrence property ψ(x+1) = ψ(x) + 1/x on a grid.
+	for x := 0.1; x < 20; x += 0.37 {
+		lhs := stat.Digamma(x + 1)
+		rhs := stat.Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Errorf("recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+	if !math.IsNaN(stat.Digamma(0)) || !math.IsNaN(stat.Digamma(-3)) {
+		t.Error("poles should be NaN")
+	}
+}
+
+func TestBuildVariationalRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	tasks, labels := makeTaskFamily(rng, 12, 4, 3, 10)
+	p, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("variational prior invalid: %v", err)
+	}
+	if len(p.Components) < 2 || len(p.Components) > 5 {
+		t.Errorf("found %d components for 3 well-separated clusters", len(p.Components))
+	}
+	// Each true center near some component mean.
+	for c := 0; c < 3; c++ {
+		center := make(mat.Vec, 4)
+		var n float64
+		for i, l := range labels {
+			if l == c {
+				mat.Axpy(1, tasks[i].Mu, center)
+				n++
+			}
+		}
+		mat.Scale(1/n, center)
+		best := math.Inf(1)
+		for _, comp := range p.Components {
+			if d := mat.Dist2(comp.Mu, center); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("cluster %d center is %.2f from nearest component", c, best)
+		}
+	}
+}
+
+func TestBuildVariationalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	tasks, _ := makeTaskFamily(rng, 8, 3, 2, 8)
+	p1, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Components) != len(p2.Components) {
+		t.Fatalf("nondeterministic: %d vs %d components", len(p1.Components), len(p2.Components))
+	}
+	for i := range p1.Components {
+		if mat.Dist2(p1.Components[i].Mu, p2.Components[i].Mu) != 0 {
+			t.Error("nondeterministic component means")
+		}
+	}
+}
+
+func TestBuildVariationalAgreesWithGibbs(t *testing.T) {
+	// On well-separated clusters the two fits should find the same number
+	// of components with nearby means.
+	rng := rand.New(rand.NewSource(152))
+	tasks, _ := makeTaskFamily(rng, 12, 4, 3, 12)
+	vi, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gibbs, err := Build(tasks, BuildOptions{Alpha: 1, Seed: 4, GibbsIters: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vi.Components) != len(gibbs.Components) {
+		t.Logf("component counts differ: vi=%d gibbs=%d (acceptable on marginal data)",
+			len(vi.Components), len(gibbs.Components))
+	}
+	// Every Gibbs component mean should be near some VI component mean.
+	for i, g := range gibbs.Components {
+		best := math.Inf(1)
+		for _, v := range vi.Components {
+			if d := mat.Dist2(g.Mu, v.Mu); d < best {
+				best = d
+			}
+		}
+		if best > 1.5 {
+			t.Errorf("gibbs component %d is %.2f from nearest VI component", i, best)
+		}
+	}
+}
+
+func TestBuildVariationalTruncationAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	tasks, _ := makeTaskFamily(rng, 10, 3, 5, 12)
+	// Truncation below the true cluster count caps the components.
+	p, err := BuildVariational(tasks, 2, BuildOptions{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) > 2 {
+		t.Errorf("truncation 2 produced %d components", len(p.Components))
+	}
+	if _, err := BuildVariational(nil, 0, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := BuildVariational(tasks, 0, BuildOptions{}); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	bad := append([]TaskPosterior(nil), tasks...)
+	bad[0].Sigma = nil
+	if _, err := BuildVariational(bad, 0, BuildOptions{Alpha: 1}); err == nil {
+		t.Error("nil covariance accepted")
+	}
+}
+
+func TestBuildVariationalSingleTask(t *testing.T) {
+	tasks := []TaskPosterior{{Mu: mat.Vec{1, 2}, Sigma: mat.Eye(2), N: 50}}
+	p, err := BuildVariational(tasks, 0, BuildOptions{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 1 {
+		t.Fatalf("single task produced %d components", len(p.Components))
+	}
+	// CRP predictive weights: 1/(2+1) component, 2/(2+1) base.
+	if math.Abs(p.BaseWeight-2.0/3) > 1e-9 {
+		t.Errorf("base weight %v, want 2/3", p.BaseWeight)
+	}
+}

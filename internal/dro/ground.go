@@ -1,0 +1,116 @@
+package dro
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroundNorm selects the transport cost of the Wasserstein ball: the
+// norm in which sample perturbations are measured. The single-layer
+// reformulation penalizes the *dual* norm of the weight vector:
+//
+//	ground ℓ2 → penalty ‖w‖₂ (default)
+//	ground ℓ1 → penalty ‖w‖∞ (adversary moves one coordinate at a time)
+//	ground ℓ∞ → penalty ‖w‖₁ (adversary moves all coordinates at once —
+//	            the sign-attack geometry)
+type GroundNorm int
+
+// Ground metrics.
+const (
+	// GroundL2 is the Euclidean transport cost.
+	GroundL2 GroundNorm = iota
+	// GroundL1 is the Manhattan transport cost.
+	GroundL1
+	// GroundLInf is the max-coordinate transport cost.
+	GroundLInf
+)
+
+// String names the ground metric.
+func (g GroundNorm) String() string {
+	switch g {
+	case GroundL2:
+		return "l2"
+	case GroundL1:
+		return "l1"
+	case GroundLInf:
+		return "linf"
+	default:
+		return fmt.Sprintf("GroundNorm(%d)", int(g))
+	}
+}
+
+// Dual returns the dual-norm value of w under the ground metric — the
+// Lipschitz constant of a margin loss in the perturbed features.
+func (g GroundNorm) Dual(w []float64) float64 {
+	switch g {
+	case GroundL2:
+		var s float64
+		for _, v := range w {
+			s += v * v
+		}
+		return math.Sqrt(s)
+	case GroundL1: // dual is ℓ∞
+		var m float64
+		for _, v := range w {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	case GroundLInf: // dual is ℓ1
+		var s float64
+		for _, v := range w {
+			s += math.Abs(v)
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("dro: unknown ground norm %d", int(g)))
+	}
+}
+
+// DualGrad accumulates coef·∂Dual(w)/∂w (a subgradient) into grad, which
+// must have the same length as w.
+func (g GroundNorm) DualGrad(w []float64, coef float64, grad []float64) {
+	if len(w) != len(grad) {
+		panic(fmt.Sprintf("dro: DualGrad: lengths %d != %d", len(w), len(grad)))
+	}
+	switch g {
+	case GroundL2:
+		norm := g.Dual(w)
+		if norm == 0 {
+			return
+		}
+		for i, v := range w {
+			grad[i] += coef * v / norm
+		}
+	case GroundL1: // subgradient of ℓ∞: mass on an argmax coordinate
+		best, bestAbs := -1, 0.0
+		for i, v := range w {
+			if a := math.Abs(v); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 || bestAbs == 0 {
+			return
+		}
+		grad[best] += coef * sign(w[best])
+	case GroundLInf: // subgradient of ℓ1: sign vector
+		for i, v := range w {
+			if v != 0 {
+				grad[i] += coef * sign(v)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("dro: unknown ground norm %d", int(g)))
+	}
+}
+
+func sign(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	if x < 0 {
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package dro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGroundNormDualValues(t *testing.T) {
+	w := []float64{3, -4, 1}
+	tests := []struct {
+		g    GroundNorm
+		want float64
+	}{
+		{GroundL2, math.Sqrt(26)},
+		{GroundL1, 4},   // dual ℓ∞
+		{GroundLInf, 8}, // dual ℓ1
+	}
+	for _, tt := range tests {
+		if got := tt.g.Dual(w); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%v.Dual = %v, want %v", tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestGroundNormString(t *testing.T) {
+	for g, want := range map[GroundNorm]string{
+		GroundL2: "l2", GroundL1: "l1", GroundLInf: "linf",
+	} {
+		if got := g.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: DualGrad is consistent with finite differences of Dual away
+// from kinks.
+func TestGroundNormDualGradConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	for _, g := range []GroundNorm{GroundL2, GroundL1, GroundLInf} {
+		for trial := 0; trial < 50; trial++ {
+			n := 2 + rng.Intn(5)
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			grad := make([]float64, n)
+			g.DualGrad(w, 1, grad)
+			const h = 1e-7
+			for i := range w {
+				wp := append([]float64(nil), w...)
+				wm := append([]float64(nil), w...)
+				wp[i] += h
+				wm[i] -= h
+				fd := (g.Dual(wp) - g.Dual(wm)) / (2 * h)
+				if math.Abs(fd-grad[i]) > 1e-5 {
+					t.Fatalf("%v grad[%d]=%v fd=%v (w=%v)", g, i, grad[i], fd, w)
+				}
+			}
+		}
+	}
+}
+
+func TestGroundNormZeroVector(t *testing.T) {
+	w := []float64{0, 0}
+	for _, g := range []GroundNorm{GroundL2, GroundL1, GroundLInf} {
+		if got := g.Dual(w); got != 0 {
+			t.Errorf("%v.Dual(0) = %v", g, got)
+		}
+		grad := []float64{0, 0}
+		g.DualGrad(w, 1, grad) // must not panic or produce NaN
+		for _, v := range grad {
+			if math.IsNaN(v) {
+				t.Errorf("%v grad NaN at zero", g)
+			}
+		}
+	}
+}
+
+func TestGroundNormPanics(t *testing.T) {
+	bad := GroundNorm(42)
+	for name, fn := range map[string]func(){
+		"dual": func() { bad.Dual([]float64{1}) },
+		"grad": func() { bad.DualGrad([]float64{1}, 1, []float64{0}) },
+		"len":  func() { GroundL2.DualGrad([]float64{1, 2}, 1, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDualNormInequalityProperty(t *testing.T) {
+	// Hölder: |wᵀδ| ≤ Dual_g(w) · ‖δ‖_g for each ground norm g.
+	rng := rand.New(rand.NewSource(241))
+	norms := map[GroundNorm]func([]float64) float64{
+		GroundL2: func(x []float64) float64 {
+			var s float64
+			for _, v := range x {
+				s += v * v
+			}
+			return math.Sqrt(s)
+		},
+		GroundL1: func(x []float64) float64 {
+			var s float64
+			for _, v := range x {
+				s += math.Abs(v)
+			}
+			return s
+		},
+		GroundLInf: func(x []float64) float64 {
+			var m float64
+			for _, v := range x {
+				if a := math.Abs(v); a > m {
+					m = a
+				}
+			}
+			return m
+		},
+	}
+	for g, norm := range norms {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(6)
+			w := make([]float64, n)
+			d := make([]float64, n)
+			var dot float64
+			for i := range w {
+				w[i] = rng.NormFloat64()
+				d[i] = rng.NormFloat64()
+				dot += w[i] * d[i]
+			}
+			if math.Abs(dot) > g.Dual(w)*norm(d)*(1+1e-12)+1e-12 {
+				t.Fatalf("Hölder violated for %v", g)
+			}
+		}
+	}
+}

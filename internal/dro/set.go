@@ -1,0 +1,319 @@
+// Package dro implements the distributionally-robust-optimization layer of
+// drdp: uncertainty sets centered at the empirical distribution of the
+// edge device's local samples, and the dual reformulations that turn the
+// inner sup over the set into a single-layer expression.
+//
+// Three ball geometries are supported:
+//
+//   - Wasserstein: for losses that are L(θ)-Lipschitz in the sample, strong
+//     duality collapses the worst case to  mean loss + ρ·L(θ)  — a dual-norm
+//     regularizer on the parameters (Mohajerin Esfahani & Kuhn 2018;
+//     Shafieezadeh-Abadeh et al. 2015 for logistic regression).
+//   - KL: exponential-tilting dual  min_{λ>0} λρ + λ log (1/n) Σ e^{ℓ_i/λ},
+//     yielding tilted worst-case sample weights q_i ∝ e^{ℓ_i/λ*}.
+//   - Chi-square: variance-penalized worst case with water-filling weights,
+//     solved exactly by an active-set pass.
+//
+// The package works on per-sample loss values, so it is agnostic to the
+// model; gradients of the robust objective follow from Danskin's theorem
+// using the returned worst-case weights.
+package dro
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the geometry of the uncertainty ball.
+type Kind int
+
+// Supported uncertainty-set geometries.
+const (
+	// None disables robustness: the set is the singleton {P̂_n}.
+	None Kind = iota
+	// Wasserstein is an order-1 Wasserstein ball; it enters the training
+	// objective as a dual-norm penalty on the parameters.
+	Wasserstein
+	// KL is a Kullback-Leibler ball; it enters as exponential tilting of
+	// the sample weights.
+	KL
+	// Chi2 is a chi-square ball; it enters as a variance penalty with
+	// water-filling weights.
+	Chi2
+)
+
+// String returns the canonical name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Wasserstein:
+		return "wasserstein"
+	case KL:
+		return "kl"
+	case Chi2:
+		return "chi2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a name (as printed by String) back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "none":
+		return None, nil
+	case "wasserstein":
+		return Wasserstein, nil
+	case "kl":
+		return KL, nil
+	case "chi2":
+		return Chi2, nil
+	}
+	return None, fmt.Errorf("dro: unknown uncertainty set %q", s)
+}
+
+// Set is an uncertainty ball of radius Rho around the empirical
+// distribution. The zero value is the singleton set (no robustness).
+type Set struct {
+	Kind Kind
+	Rho  float64 // ball radius, >= 0
+}
+
+// Validate reports a structurally invalid set.
+func (s Set) Validate() error {
+	if s.Rho < 0 {
+		return fmt.Errorf("dro: radius %g must be non-negative", s.Rho)
+	}
+	switch s.Kind {
+	case None, Wasserstein, KL, Chi2:
+		return nil
+	}
+	return fmt.Errorf("dro: unknown kind %d", int(s.Kind))
+}
+
+// WorstCase returns the worst-case expected loss over the ball and the
+// worst-case sample weights (summing to 1). lipschitz is the loss's
+// Lipschitz constant in the sample argument at the current parameters —
+// only the Wasserstein geometry consumes it; pass 0 for the others.
+//
+// The weights are the gradient weights for the robust objective: by
+// Danskin's theorem, ∇ worst-case = Σ_i q_i ∇ℓ_i (+ the parameter penalty
+// term for Wasserstein, which the caller adds via ThetaPenalty).
+func (s Set) WorstCase(losses []float64, lipschitz float64) (value float64, weights []float64) {
+	if len(losses) == 0 {
+		panic("dro: WorstCase: empty losses")
+	}
+	n := len(losses)
+	switch s.Kind {
+	case None:
+		return meanOf(losses), uniform(n)
+	case Wasserstein:
+		return meanOf(losses) + s.Rho*lipschitz, uniform(n)
+	case KL:
+		if s.Rho == 0 {
+			return meanOf(losses), uniform(n)
+		}
+		v, w, _ := KLWorstCase(losses, s.Rho)
+		return v, w
+	case Chi2:
+		if s.Rho == 0 {
+			return meanOf(losses), uniform(n)
+		}
+		return Chi2WorstCase(losses, s.Rho)
+	default:
+		panic(fmt.Sprintf("dro: WorstCase: unknown kind %d", int(s.Kind)))
+	}
+}
+
+// ThetaPenalty returns the coefficient of the dual-norm parameter penalty
+// in the single-layer reformulation: ρ for the Wasserstein set (to be
+// multiplied by ‖θ‖_* by the caller), 0 for all other geometries.
+func (s Set) ThetaPenalty() float64 {
+	if s.Kind == Wasserstein {
+		return s.Rho
+	}
+	return 0
+}
+
+func meanOf(x []float64) float64 {
+	var t float64
+	for _, v := range x {
+		t += v
+	}
+	return t / float64(len(x))
+}
+
+func uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// KLWorstCase solves  sup_{Q: KL(Q||P̂)≤ρ} E_Q[ℓ]  by its dual
+//
+//	min_{λ>0} λρ + λ log (1/n) Σ_i exp(ℓ_i/λ)
+//
+// returning the worst-case value, the tilted weights q_i ∝ e^{ℓ_i/λ*},
+// and the optimal dual variable λ*.
+func KLWorstCase(losses []float64, rho float64) (value float64, weights []float64, lambda float64) {
+	if rho <= 0 {
+		panic(fmt.Sprintf("dro: KLWorstCase: rho %g must be positive", rho))
+	}
+	n := len(losses)
+	maxL, minL := losses[0], losses[0]
+	for _, v := range losses[1:] {
+		if v > maxL {
+			maxL = v
+		}
+		if v < minL {
+			minL = v
+		}
+	}
+	spread := maxL - minL
+	if spread < 1e-15 {
+		// Degenerate: every distribution in the ball has the same mean.
+		return maxL, uniform(n), math.Inf(1)
+	}
+
+	dual := func(lam float64) float64 {
+		// Stable λ log mean exp(ℓ/λ): factor out the max.
+		var s float64
+		for _, v := range losses {
+			s += math.Exp((v - maxL) / lam)
+		}
+		return lam*rho + maxL + lam*math.Log(s/float64(n))
+	}
+
+	// The dual is convex in λ; bracket the minimizer on a log grid then
+	// refine by golden-section search.
+	lo, hi := spread*1e-6, spread*1e6/math.Max(rho, 1e-12)
+	bestLam, bestVal := lo, dual(lo)
+	for lam := lo; lam <= hi; lam *= 4 {
+		if v := dual(lam); v < bestVal {
+			bestVal, bestLam = v, lam
+		}
+	}
+	a, b := bestLam/4, bestLam*4
+	lambda = goldenSection(dual, a, b, 200)
+	// The sup over reweightings of the sample can never exceed the max
+	// loss; clamp away the residual λρ overshoot from bracketing λ > 0.
+	value = math.Min(dual(lambda), maxL)
+
+	// Tilted weights at λ*.
+	weights = make([]float64, n)
+	var z float64
+	for i, v := range losses {
+		weights[i] = math.Exp((v - maxL) / lambda)
+		z += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= z
+	}
+	return value, weights, lambda
+}
+
+// Chi2WorstCase solves  sup_Q E_Q[ℓ]  over the χ² ball
+//
+//	{ q ∈ Δ_n : (1/2n) Σ_i (n q_i − 1)² ≤ ρ }
+//
+// exactly via an active-set pass: unconstrained the optimum is
+// q = 1/n + δ with δ ∝ centered losses scaled to the ball boundary; any
+// weights driven negative are clamped to zero and the remainder re-solved.
+func Chi2WorstCase(losses []float64, rho float64) (value float64, weights []float64) {
+	if rho <= 0 {
+		panic(fmt.Sprintf("dro: Chi2WorstCase: rho %g must be positive", rho))
+	}
+	n := len(losses)
+	active := make([]bool, n) // true = clamped to zero
+	weights = make([]float64, n)
+
+	for pass := 0; pass < n; pass++ {
+		// Solve on the free set.
+		var m int
+		var mean float64
+		for i, v := range losses {
+			if !active[i] {
+				mean += v
+				m++
+			}
+		}
+		if m == 0 {
+			break
+		}
+		mean /= float64(m)
+		var ss float64
+		for i, v := range losses {
+			if !active[i] {
+				d := v - mean
+				ss += d * d
+			}
+		}
+		// Total mass on the free set is 1; uniform part 1/m each, tilt
+		// proportional to centered loss with magnitude set by the radius.
+		// Ball constraint in terms of δ: (n/2) Σ δ_i² ≤ ρ (approximating
+		// the clamped coordinates' contribution as fixed), so
+		// ‖δ‖ = sqrt(2ρ/n) along the centered-loss direction.
+		scale := 0.0
+		if ss > 0 {
+			scale = math.Sqrt(2*rho/float64(n)) / math.Sqrt(ss)
+		}
+		negative := false
+		for i, v := range losses {
+			if active[i] {
+				weights[i] = 0
+				continue
+			}
+			weights[i] = 1/float64(m) + scale*(v-mean)
+			if weights[i] < 0 {
+				negative = true
+			}
+		}
+		if !negative {
+			break
+		}
+		for i, w := range weights {
+			if !active[i] && w < 0 {
+				active[i] = true
+			}
+		}
+	}
+	// Project residual numerical error back to the simplex.
+	var z float64
+	for _, w := range weights {
+		if w > 0 {
+			z += w
+		}
+	}
+	value = 0
+	for i := range weights {
+		if weights[i] < 0 {
+			weights[i] = 0
+		}
+		weights[i] /= z
+		value += weights[i] * losses[i]
+	}
+	return value, weights
+}
+
+// goldenSection minimizes convex f on [a, b] to high precision.
+func goldenSection(f func(float64) float64, a, b float64, iters int) float64 {
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < iters && b-a > 1e-12*(1+math.Abs(a)); i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,117 @@
+package edge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// Client is an edge device's connection to the cloud prior server. It is
+// not safe for concurrent use; give each goroutine its own Client.
+type Client struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration // per-round-trip deadline; 0 = none
+}
+
+// SetRoundTripTimeout bounds each subsequent request/response exchange;
+// zero removes the bound. Protects device loops from a hung cloud.
+func (c *Client) SetRoundTripTimeout(d time.Duration) { c.timeout = d }
+
+// Dial connects to the cloud server at addr with the given timeout
+// (zero means no timeout).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (useful with simulated links).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("edge: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("edge: send %s: %w", req.Kind, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("edge: receive %s response: %w", req.Kind, err)
+	}
+	if err := errOf(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FetchPrior downloads the current prior for the given parameter
+// dimensionality (pass 0 to skip the dimension check) and validates it.
+func (c *Client) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: GetPrior, Dim: dim})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Prior == nil {
+		return nil, 0, fmt.Errorf("edge: server returned empty prior")
+	}
+	if err := resp.Prior.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("edge: received invalid prior: %w", err)
+	}
+	return resp.Prior, resp.Version, nil
+}
+
+// FetchPriorIfNewer is the conditional fetch: when the cloud's prior
+// version still equals knownVersion, no payload crosses the wire and a
+// nil prior is returned with the (unchanged) version. Use in periodic
+// refresh loops so an idle cloud costs only a handshake.
+func (c *Client) FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior, uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: GetPrior, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.NotModified {
+		return nil, resp.Version, nil
+	}
+	if resp.Prior == nil {
+		return nil, 0, fmt.Errorf("edge: server returned empty prior")
+	}
+	if err := resp.Prior.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("edge: received invalid prior: %w", err)
+	}
+	return resp.Prior, resp.Version, nil
+}
+
+// ReportTask uploads a solved task posterior; the cloud folds it into
+// future priors. Returns the new prior version.
+func (c *Client) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: ReportTask, Task: &t})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Stats fetches cloud-side counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(&Request{Kind: GetStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	return resp.Stats, nil
+}

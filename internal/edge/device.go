@@ -1,0 +1,84 @@
+package edge
+
+import (
+	"fmt"
+
+	"github.com/drdp/drdp/internal/core"
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+)
+
+// Device bundles an edge device's learning configuration and drives the
+// full knowledge-transfer loop against a cloud client: fetch prior →
+// DRDP training → optionally report the solved task back.
+type Device struct {
+	// ID labels the device in logs and experiment output.
+	ID int
+	// Model is the local model family.
+	Model model.Model
+	// Set is the local uncertainty ball.
+	Set dro.Set
+	// Tau is the prior weight (0 = default 1/n).
+	Tau float64
+	// EMIters bounds the EM loop (0 = learner default).
+	EMIters int
+}
+
+// TrainWithPrior runs DRDP locally with the given (wire-format) prior.
+// A nil prior trains without knowledge transfer.
+func (d *Device) TrainWithPrior(prior *dpprior.Prior, x *mat.Dense, y []float64) (*core.Result, error) {
+	opts := []core.Option{core.WithUncertaintySet(d.Set)}
+	if prior != nil {
+		compiled, err := dpprior.Compile(prior)
+		if err != nil {
+			return nil, fmt.Errorf("edge: device %d: compile prior: %w", d.ID, err)
+		}
+		opts = append(opts, core.WithPrior(compiled))
+	}
+	if d.Tau > 0 {
+		opts = append(opts, core.WithPriorWeight(d.Tau))
+	}
+	if d.EMIters > 0 {
+		opts = append(opts, core.WithEMIters(d.EMIters, 0))
+	}
+	learner, err := core.New(d.Model, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("edge: device %d: %w", d.ID, err)
+	}
+	res, err := learner.Fit(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("edge: device %d: fit: %w", d.ID, err)
+	}
+	return res, nil
+}
+
+// Run executes the full loop through a live client: fetch the prior
+// (tolerating an empty cloud), train, and when report is set, upload the
+// Laplace posterior of the solved task. It returns the training result.
+func (d *Device) Run(c *Client, x *mat.Dense, y []float64, report bool) (*core.Result, error) {
+	prior, _, err := c.FetchPrior(d.Model.NumParams())
+	if err != nil {
+		// An empty cloud is a normal cold-start: train locally.
+		prior = nil
+	}
+	res, err := d.TrainWithPrior(prior, x, y)
+	if err != nil {
+		return nil, err
+	}
+	if report {
+		cov, err := model.LaplacePosterior(d.Model, res.Params, x, y, 1e-3)
+		if err != nil {
+			return nil, fmt.Errorf("edge: device %d: laplace: %w", d.ID, err)
+		}
+		if _, err := c.ReportTask(dpprior.TaskPosterior{
+			Mu:    res.Params,
+			Sigma: cov,
+			N:     x.Rows,
+		}); err != nil {
+			return nil, fmt.Errorf("edge: device %d: report: %w", d.ID, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package edge
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// LinkProfile models an edge uplink for the systems-cost analysis:
+// one-way latency plus a serialization bandwidth. TransferTime gives the
+// analytic time to move a payload over the link (deterministic, used by
+// the Table 4 benchmark); Throttle wraps a real connection to impose the
+// profile on live traffic (used by the distributed example).
+type LinkProfile struct {
+	Name      string
+	Latency   time.Duration // one-way propagation latency
+	Bandwidth float64       // bytes per second, > 0
+}
+
+// Standard profiles, rounded from common cellular/WiFi measurements.
+var (
+	// LinkWiFi is a good local wireless link.
+	LinkWiFi = LinkProfile{Name: "wifi", Latency: 2 * time.Millisecond, Bandwidth: 6.25e6} // 50 Mbps
+	// Link4G is a healthy LTE uplink.
+	Link4G = LinkProfile{Name: "4g", Latency: 40 * time.Millisecond, Bandwidth: 1.25e6} // 10 Mbps
+	// Link3G is a constrained cellular uplink.
+	Link3G = LinkProfile{Name: "3g", Latency: 120 * time.Millisecond, Bandwidth: 2.5e5} // 2 Mbps
+)
+
+// TransferTime returns latency + payload/bandwidth.
+func (p LinkProfile) TransferTime(bytes int) time.Duration {
+	if p.Bandwidth <= 0 {
+		panic(fmt.Sprintf("edge: LinkProfile %q has non-positive bandwidth", p.Name))
+	}
+	ser := time.Duration(float64(bytes) / p.Bandwidth * float64(time.Second))
+	return p.Latency + ser
+}
+
+// Throttle wraps conn so each Write pays the profile's serialization
+// delay and the first Write additionally pays the one-way latency. Reads
+// are left untouched (the peer's writes already paid).
+func (p LinkProfile) Throttle(conn net.Conn) net.Conn {
+	return &throttledConn{Conn: conn, profile: p}
+}
+
+type throttledConn struct {
+	net.Conn
+	profile LinkProfile
+	started bool
+}
+
+func (t *throttledConn) Write(b []byte) (int, error) {
+	delay := time.Duration(float64(len(b)) / t.profile.Bandwidth * float64(time.Second))
+	if !t.started {
+		delay += t.profile.Latency
+		t.started = true
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return t.Conn.Write(b)
+}
+
+var _ net.Conn = (*throttledConn)(nil)

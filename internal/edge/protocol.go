@@ -1,0 +1,88 @@
+// Package edge is drdp's distributed substrate: the wire protocol and
+// server/client pair that move Dirichlet-process priors from the cloud to
+// edge devices and task posteriors back up, plus a link simulator that
+// models the latency/bandwidth profiles of typical edge uplinks for the
+// systems-cost experiments.
+//
+// The protocol is length-free gob framing over TCP: each connection runs
+// a sequence of (Request, Response) gob values. It is deliberately small —
+// two RPCs carry the entire knowledge-transfer loop of the paper:
+//
+//	GetPrior:   edge  → cloud   "give me the current prior for dim d"
+//	ReportTask: edge  → cloud   "here is my solved task's posterior"
+package edge
+
+import (
+	"fmt"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// RequestKind enumerates protocol operations.
+type RequestKind int
+
+// Protocol operations.
+const (
+	// GetPrior asks the cloud for the current DP prior.
+	GetPrior RequestKind = iota + 1
+	// ReportTask uploads a solved task posterior for incorporation.
+	ReportTask
+	// GetStats asks for cloud-side counters (task count, prior version).
+	GetStats
+)
+
+// String names the request kind.
+func (k RequestKind) String() string {
+	switch k {
+	case GetPrior:
+		return "get-prior"
+	case ReportTask:
+		return "report-task"
+	case GetStats:
+		return "get-stats"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", int(k))
+	}
+}
+
+// Request is the client→server message.
+type Request struct {
+	Kind RequestKind
+	// Dim is the parameter dimensionality the edge expects (GetPrior);
+	// the server rejects mismatches instead of shipping a useless prior.
+	Dim int
+	// KnownVersion enables conditional fetch (GetPrior): when the cloud's
+	// prior version still equals it, the server answers NotModified with
+	// no payload — the refresh costs a handshake instead of the prior.
+	KnownVersion uint64
+	// Task carries the uploaded posterior for ReportTask.
+	Task *dpprior.TaskPosterior
+}
+
+// Response is the server→client message. Err is non-empty on failure
+// (gob cannot carry error values faithfully across processes).
+type Response struct {
+	Err     string
+	Prior   *dpprior.Prior
+	Stats   Stats
+	Version uint64 // prior version at the time of the response
+	// NotModified reports that the client's KnownVersion is current and
+	// no prior payload was shipped.
+	NotModified bool
+}
+
+// Stats are cloud-side counters.
+type Stats struct {
+	Tasks        int    // task posteriors incorporated so far
+	PriorVersion uint64 // bumped on every rebuild
+	Components   int    // components in the current prior
+	WireBytes    int    // approximate serialized prior size
+}
+
+// errOf converts a Response error string back into an error.
+func errOf(resp *Response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("edge: server: %s", resp.Err)
+}

@@ -1,0 +1,224 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// CloudServer accumulates task posteriors and serves the DP prior built
+// from them. It is safe for concurrent connections; the prior is rebuilt
+// lazily, at most once per version of the task set.
+type CloudServer struct {
+	opts   dpprior.BuildOptions
+	logger *log.Logger
+
+	mu      sync.Mutex
+	tasks   []dpprior.TaskPosterior
+	prior   *dpprior.Prior
+	version uint64 // bumped on every task-set change
+	built   uint64 // version the cached prior corresponds to
+
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewCloudServer creates a server with the given prior-construction
+// options. Seed tasks may be nil. logger may be nil to discard logs.
+func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, logger *log.Logger) (*CloudServer, error) {
+	if opts.Alpha <= 0 {
+		return nil, fmt.Errorf("edge: NewCloudServer: alpha %g must be positive", opts.Alpha)
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &CloudServer{opts: opts, logger: logger}
+	s.tasks = append(s.tasks, seed...)
+	if len(s.tasks) > 0 {
+		s.version = 1
+	}
+	return s, nil
+}
+
+// AddTask incorporates one task posterior (also callable in-process).
+func (s *CloudServer) AddTask(t dpprior.TaskPosterior) error {
+	if len(t.Mu) == 0 || t.Sigma == nil {
+		return errors.New("edge: AddTask: incomplete task posterior")
+	}
+	if t.Sigma.Rows != len(t.Mu) || t.Sigma.Cols != len(t.Mu) {
+		return fmt.Errorf("edge: AddTask: covariance %dx%d for dim %d",
+			t.Sigma.Rows, t.Sigma.Cols, len(t.Mu))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tasks) > 0 && len(s.tasks[0].Mu) != len(t.Mu) {
+		return fmt.Errorf("edge: AddTask: dim %d does not match existing tasks (dim %d)",
+			len(t.Mu), len(s.tasks[0].Mu))
+	}
+	s.tasks = append(s.tasks, t)
+	s.version++
+	return nil
+}
+
+// Prior returns the current prior (rebuilding if the task set changed)
+// and its version. It fails when no tasks have been reported yet.
+func (s *CloudServer) Prior() (*dpprior.Prior, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.priorLocked()
+}
+
+func (s *CloudServer) priorLocked() (*dpprior.Prior, uint64, error) {
+	if len(s.tasks) == 0 {
+		return nil, 0, errors.New("edge: no tasks reported yet")
+	}
+	if s.prior == nil || s.built != s.version {
+		p, err := dpprior.Build(s.tasks, s.opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("edge: rebuild prior: %w", err)
+		}
+		s.prior = p
+		s.built = s.version
+	}
+	return s.prior, s.version, nil
+}
+
+// Stats returns current counters.
+func (s *CloudServer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Tasks: len(s.tasks), PriorVersion: s.version}
+	if p, _, err := s.priorLocked(); err == nil {
+		st.Components = len(p.Components)
+		st.WireBytes = p.WireSize()
+	}
+	return st
+}
+
+// Serve accepts connections on ln until Close is called. It blocks; run
+// it in a goroutine. Each connection is handled concurrently.
+func (s *CloudServer) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.lnMu.Unlock()
+		return errors.New("edge: Serve: already serving")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Closed listener means orderly shutdown.
+			if errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("edge: accept: %w", err)
+		}
+		s.lnMu.Lock()
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves.
+// The chosen address is reported through addrCh before serving begins,
+// when addrCh is non-nil.
+func (s *CloudServer) ListenAndServe(addr string, addrCh chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("edge: listen %s: %w", addr, err)
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr().String()
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, closes active connections (clients see a clean
+// connection error on their next round trip), and waits for handlers.
+func (s *CloudServer) Close() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.lnMu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	err := ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *CloudServer) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logger.Printf("edge: decode request from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.logger.Printf("edge: encode response to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *CloudServer) dispatch(req *Request) *Response {
+	switch req.Kind {
+	case GetPrior:
+		p, version, err := s.Prior()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		if req.Dim != 0 && req.Dim != p.Dim {
+			return &Response{Err: fmt.Sprintf("prior dim %d does not match requested %d", p.Dim, req.Dim)}
+		}
+		if req.KnownVersion != 0 && req.KnownVersion == version {
+			return &Response{Version: version, NotModified: true}
+		}
+		return &Response{Prior: p, Version: version}
+	case ReportTask:
+		if req.Task == nil {
+			return &Response{Err: "report-task: missing task"}
+		}
+		if err := s.AddTask(*req.Task); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Version: s.Stats().PriorVersion}
+	case GetStats:
+		return &Response{Stats: s.Stats()}
+	default:
+		return &Response{Err: fmt.Sprintf("unknown request kind %d", int(req.Kind))}
+	}
+}

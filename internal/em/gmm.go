@@ -1,0 +1,148 @@
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// GMM is a spherical Gaussian mixture model fit by classic EM. It serves
+// two roles in drdp: a reference clusterer for validating the DP prior's
+// Gibbs clustering, and a building block for synthetic data diagnostics.
+type GMM struct {
+	Weights []float64 // mixture weights on the simplex
+	Means   []mat.Vec
+	Vars    []float64 // per-component spherical variance
+}
+
+// FitGMM runs EM for a k-component spherical GMM on the rows of x,
+// initialized by random sample assignment from rng. It returns the fitted
+// model and the per-iteration log-likelihood trace (monotone
+// non-decreasing up to numerical tolerance).
+func FitGMM(x []mat.Vec, k int, iters int, rng *rand.Rand) (*GMM, []float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("em: FitGMM: no data")
+	}
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("em: FitGMM: k=%d invalid for n=%d", k, n)
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	d := len(x[0])
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, nil, fmt.Errorf("em: FitGMM: row %d has dim %d, want %d", i, len(xi), d)
+		}
+	}
+
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   make([]mat.Vec, k),
+		Vars:    make([]float64, k),
+	}
+	// Init: means at k distinct random points, shared unit variance.
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		g.Means[c] = mat.CloneVec(x[perm[c]])
+		g.Weights[c] = 1 / float64(k)
+		g.Vars[c] = 1
+	}
+
+	resp := mat.NewDense(n, k)
+	var trace []float64
+	logp := make(mat.Vec, k)
+	for iter := 0; iter < iters; iter++ {
+		// E-step + log-likelihood.
+		var ll float64
+		for i, xi := range x {
+			for c := 0; c < k; c++ {
+				logp[c] = math.Log(g.Weights[c]) + sphericalLogPDF(xi, g.Means[c], g.Vars[c])
+			}
+			lse := mat.LogSumExp(logp)
+			ll += lse
+			for c := 0; c < k; c++ {
+				resp.Set(i, c, math.Exp(logp[c]-lse))
+			}
+		}
+		trace = append(trace, ll)
+
+		// M-step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mean := make(mat.Vec, d)
+			for i, xi := range x {
+				r := resp.At(i, c)
+				nc += r
+				mat.Axpy(r, xi, mean)
+			}
+			if nc < 1e-10 {
+				// Dead component: re-seed at a random point.
+				g.Means[c] = mat.CloneVec(x[rng.Intn(n)])
+				g.Vars[c] = 1
+				g.Weights[c] = 1e-6
+				continue
+			}
+			mat.Scale(1/nc, mean)
+			var ss float64
+			for i, xi := range x {
+				r := resp.At(i, c)
+				if r == 0 {
+					continue
+				}
+				dd := mat.Dist2(xi, mean)
+				ss += r * dd * dd
+			}
+			g.Means[c] = mean
+			g.Vars[c] = math.Max(ss/(nc*float64(d)), 1e-8)
+			g.Weights[c] = nc / float64(n)
+		}
+		normalize(g.Weights)
+	}
+	return g, trace, nil
+}
+
+// LogLikelihood returns the total log-likelihood of the rows of x under g.
+func (g *GMM) LogLikelihood(x []mat.Vec) float64 {
+	logp := make(mat.Vec, len(g.Weights))
+	var ll float64
+	for _, xi := range x {
+		for c := range g.Weights {
+			logp[c] = math.Log(g.Weights[c]) + sphericalLogPDF(xi, g.Means[c], g.Vars[c])
+		}
+		ll += mat.LogSumExp(logp)
+	}
+	return ll
+}
+
+// Assign returns the most responsible component for each row of x.
+func (g *GMM) Assign(x []mat.Vec) []int {
+	out := make([]int, len(x))
+	logp := make(mat.Vec, len(g.Weights))
+	for i, xi := range x {
+		for c := range g.Weights {
+			logp[c] = math.Log(g.Weights[c]) + sphericalLogPDF(xi, g.Means[c], g.Vars[c])
+		}
+		out[i] = mat.ArgMax(logp)
+	}
+	return out
+}
+
+func sphericalLogPDF(x, mu mat.Vec, variance float64) float64 {
+	d := float64(len(x))
+	dd := mat.Dist2(x, mu)
+	return -0.5*d*math.Log(2*math.Pi*variance) - dd*dd/(2*variance)
+}
+
+func normalize(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	for i := range w {
+		w[i] /= s
+	}
+}

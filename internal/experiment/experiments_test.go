@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/drdp/drdp/internal/em"
+)
+
+// fastCfg keeps the smoke tests quick while exercising every runner.
+func fastCfg() RunConfig { return RunConfig{Reps: 1, Seed: 11, Fast: true} }
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table1SampleEfficiency(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("expected 7 method rows, got %d", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "drdp") {
+		t.Error("drdp row missing")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table2ShiftRobustness(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner (slow: 650-dim softmax); skip in -short")
+	}
+	tab, err := Table3Digits(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table4SystemsCost(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Error("no rows")
+	}
+	// Wire size must grow in the component count within a dim block, and
+	// 3g must always be slower than wifi (sanity of the link model).
+	for _, row := range tab.Rows {
+		if row[4] >= row[6] && row[4] == row[6] {
+			t.Errorf("wifi %s not faster than 3g %s", row[4], row[6])
+		}
+	}
+}
+
+func TestFigureSmokes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners; skip in -short")
+	}
+	cfg := fastCfg()
+	figs := []struct {
+		name string
+		run  func(RunConfig) (*Series, error)
+	}{
+		{"fig1", Figure1RadiusSweep},
+		{"fig2", Figure2AlphaSweep},
+		{"fig4", Figure4CloudTasks},
+		{"fig5", Figure5SetAblation},
+		{"fig6", Figure6MultiDevice},
+		{"fig7", Figure7FedAvgComparison},
+		{"fig8", Figure8OnlineLearning},
+		{"fig9", Figure9CertificateValidity},
+		{"fig11", Figure11DriftTracking},
+		{"fig12", Figure12GroundMetric},
+	}
+	for _, f := range figs {
+		t.Run(f.name, func(t *testing.T) {
+			ser, err := f.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ser.X) == 0 || len(ser.Names) == 0 {
+				t.Fatalf("empty series %+v", ser)
+			}
+			var buf bytes.Buffer
+			if err := ser.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTable5And6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners; skip in -short")
+	}
+	cfg := fastCfg()
+	t5, err := Table5PriorFitAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 3 {
+		t.Errorf("table5 rows %d, want 3 (gibbs/variational/dp-means)", len(t5.Rows))
+	}
+	t6, err := Table6StochasticMStep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) == 0 {
+		t.Error("table6 empty")
+	}
+	t7, err := Table7Calibration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 3 {
+		t.Errorf("table7 rows %d, want 3", len(t7.Rows))
+	}
+	t8, err := Table8SolverAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 8 {
+		t.Errorf("table8 rows %d, want 8 (4 solvers × 2 radii)", len(t8.Rows))
+	}
+	t9, err := Table9Deployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Rows) != 4 { // 2 links (fast) × 2 policies
+		t.Errorf("table9 rows %d, want 4", len(t9.Rows))
+	}
+	f10, err := Figure10Compression(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.X) != 3 {
+		t.Errorf("figure10 levels %d, want 3", len(f10.X))
+	}
+	t10, err := Table10Imbalance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 2 { // fast mode: 2 fractions
+		t.Errorf("table10 rows %d, want 2", len(t10.Rows))
+	}
+	t11, err := Table11AlphaSelection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 2 { // fast mode: 2 regimes
+		t.Errorf("table11 rows %d, want 2", len(t11.Rows))
+	}
+	// Compression must strictly shrink the wire size.
+	if !(f10.Y[0][2] < f10.Y[0][1] && f10.Y[0][1] < f10.Y[0][0]) {
+		t.Errorf("wire sizes not decreasing: %v", f10.Y[0])
+	}
+}
+
+func TestFigure3ConvergenceMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	ser, err := Figure3Convergence(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Y) != 1 {
+		t.Fatalf("expected one series, got %d", len(ser.Y))
+	}
+	if err := em.CheckMonotone(ser.Y[0], 1e-6); err != nil {
+		t.Errorf("convergence trace not monotone: %v", err)
+	}
+	if len(ser.Y[0]) < 3 {
+		t.Errorf("trace too short: %v", ser.Y[0])
+	}
+}

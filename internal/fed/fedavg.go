@@ -1,0 +1,164 @@
+// Package fed implements federated averaging (FedAvg, McMahan et al.
+// 2017) as a system-level comparison point for drdp: where DRDP ships a
+// DP prior once and lets each device solve its own robust problem,
+// FedAvg iteratively averages locally-trained models into one global
+// model. The comparison (EXPERIMENTS.md Figure 7) shows when one global
+// model is enough and when per-device DRDP wins — namely under task
+// heterogeneity, where a single average cannot serve conflicting tasks.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/opt"
+)
+
+// ClientData is one participating device's local dataset.
+type ClientData struct {
+	X *mat.Dense
+	Y []float64
+}
+
+// Config tunes the FedAvg run. Zero values pick the usual defaults.
+type Config struct {
+	// Rounds of communication (default 20).
+	Rounds int
+	// LocalEpochs per round (default 5).
+	LocalEpochs int
+	// BatchSize for local SGD (default 10; capped at the client size).
+	BatchSize int
+	// LR is the local SGD learning rate (default 0.1).
+	LR float64
+	// ClientFraction sampled per round (default 1.0 = all clients).
+	ClientFraction float64
+	// Seed drives client sampling and batch order.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 20
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10
+	}
+	if c.LR <= 0 {
+		c.LR = 0.1
+	}
+	if c.ClientFraction <= 0 || c.ClientFraction > 1 {
+		c.ClientFraction = 1
+	}
+	return c
+}
+
+// Result reports a FedAvg run.
+type Result struct {
+	// Global is the final averaged model.
+	Global mat.Vec
+	// RoundLoss is the weighted mean training loss after each round.
+	RoundLoss []float64
+	// Rounds actually executed.
+	Rounds int
+	// BytesUpLink is the total client→server parameter traffic
+	// (8 bytes per float64 per upload), the communication cost FedAvg
+	// pays every round and DRDP pays never.
+	BytesUpLink int
+}
+
+// Run executes FedAvg for the given model over the clients.
+func Run(m model.Model, clients []ClientData, cfg Config) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("fed: nil model")
+	}
+	if len(clients) == 0 {
+		return nil, errors.New("fed: no clients")
+	}
+	for i, c := range clients {
+		if c.X == nil || c.X.Rows == 0 {
+			return nil, fmt.Errorf("fed: client %d has no data", i)
+		}
+		if c.X.Rows != len(c.Y) {
+			return nil, fmt.Errorf("fed: client %d: %d rows but %d labels", i, c.X.Rows, len(c.Y))
+		}
+		if c.X.Cols != m.InputDim() {
+			return nil, fmt.Errorf("fed: client %d: dim %d, want %d", i, c.X.Cols, m.InputDim())
+		}
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	p := m.NumParams()
+	global := make(mat.Vec, p)
+	res := &Result{Rounds: cfg.Rounds}
+
+	sampled := int(float64(len(clients))*cfg.ClientFraction + 0.5)
+	if sampled < 1 {
+		sampled = 1
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		perm := rng.Perm(len(clients))[:sampled]
+		sum := make(mat.Vec, p)
+		var totalN float64
+		for _, ci := range perm {
+			local := localTrain(m, clients[ci], global, cfg, rng)
+			w := float64(clients[ci].X.Rows)
+			mat.Axpy(w, local, sum)
+			totalN += w
+			res.BytesUpLink += 8 * p
+		}
+		mat.Scale(1/totalN, sum)
+		global = sum
+
+		// Weighted mean training loss across all clients.
+		var loss, n float64
+		for _, c := range clients {
+			losses := m.Losses(global, c.X, c.Y, nil)
+			loss += mat.Sum(losses)
+			n += float64(len(losses))
+		}
+		res.RoundLoss = append(res.RoundLoss, loss/n)
+	}
+	res.Global = global
+	return res, nil
+}
+
+// localTrain runs LocalEpochs of minibatch SGD from the global model.
+func localTrain(m model.Model, c ClientData, global mat.Vec, cfg Config, rng *rand.Rand) mat.Vec {
+	theta := mat.CloneVec(global)
+	n := c.X.Rows
+	batch := cfg.BatchSize
+	if batch > n {
+		batch = n
+	}
+	sgd := &opt.SGD{LR: cfg.LR}
+	grad := make(mat.Vec, len(theta))
+	weights := make([]float64, n)
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		perm := rng.Perm(n)
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			// Zero all weights, then set the batch members to 1/|batch|.
+			for i := range weights {
+				weights[i] = 0
+			}
+			for _, idx := range perm[start:end] {
+				weights[idx] = 1 / float64(end-start)
+			}
+			mat.Fill(grad, 0)
+			m.WeightedGrad(theta, c.X, c.Y, weights, grad)
+			sgd.Step(theta, grad)
+		}
+	}
+	return theta
+}

@@ -1,0 +1,127 @@
+package fed
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+)
+
+// iidClients splits one task's data across k clients.
+func iidClients(rng *rand.Rand, task data.LinearTask, k, perClient int) []ClientData {
+	out := make([]ClientData, k)
+	for i := range out {
+		ds := task.Sample(rng, perClient)
+		out[i] = ClientData{X: ds.X, Y: ds.Y}
+	}
+	return out
+}
+
+func TestFedAvgLearnsIIDTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	task := data.LinearTask{W: mat.Vec{2, -1, 1}, Flip: 0.05}
+	clients := iidClients(rng, task, 8, 50)
+	m := model.Logistic{Dim: 3}
+	res, err := Run(m, clients, Config{Rounds: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := task.Sample(rng, 2000)
+	if acc := model.Accuracy(m, res.Global, test.X, test.Y); acc < 0.88 {
+		t.Errorf("FedAvg IID accuracy %v", acc)
+	}
+	if len(res.RoundLoss) != 25 {
+		t.Errorf("round losses %d", len(res.RoundLoss))
+	}
+	// Loss should broadly decrease: final well below initial.
+	if res.RoundLoss[24] > res.RoundLoss[0]*0.8 {
+		t.Errorf("loss did not decrease: %v -> %v", res.RoundLoss[0], res.RoundLoss[24])
+	}
+	// Communication accounting: 25 rounds × 8 clients × 4 params × 8 bytes.
+	if want := 25 * 8 * 4 * 8; res.BytesUpLink != want {
+		t.Errorf("uplink bytes %d, want %d", res.BytesUpLink, want)
+	}
+}
+
+func TestFedAvgClientFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	task := data.LinearTask{W: mat.Vec{1, 1}}
+	clients := iidClients(rng, task, 10, 30)
+	m := model.Logistic{Dim: 2}
+	res, err := Run(m, clients, Config{Rounds: 5, ClientFraction: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 of 10 clients per round.
+	if want := 5 * 3 * 3 * 8; res.BytesUpLink != want {
+		t.Errorf("uplink bytes %d, want %d", res.BytesUpLink, want)
+	}
+}
+
+func TestFedAvgHeterogeneousStruggles(t *testing.T) {
+	// Two client groups with OPPOSITE tasks: one global model cannot serve
+	// both; its average accuracy across groups stays near chance. This is
+	// the regime where per-device DRDP wins (see Figure 7).
+	rng := rand.New(rand.NewSource(132))
+	taskA := data.LinearTask{W: mat.Vec{3, 1}}
+	taskB := data.LinearTask{W: mat.Vec{-3, -1}}
+	var clients []ClientData
+	for i := 0; i < 4; i++ {
+		dsA := taskA.Sample(rng, 40)
+		dsB := taskB.Sample(rng, 40)
+		clients = append(clients, ClientData{X: dsA.X, Y: dsA.Y}, ClientData{X: dsB.X, Y: dsB.Y})
+	}
+	m := model.Logistic{Dim: 2}
+	res, err := Run(m, clients, Config{Rounds: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testA := taskA.Sample(rng, 1000)
+	testB := taskB.Sample(rng, 1000)
+	accA := model.Accuracy(m, res.Global, testA.X, testA.Y)
+	accB := model.Accuracy(m, res.Global, testB.X, testB.Y)
+	avg := (accA + accB) / 2
+	if avg > 0.65 {
+		t.Errorf("global model should not serve opposite tasks: avg acc %v (A=%v B=%v)",
+			avg, accA, accB)
+	}
+}
+
+func TestFedAvgValidation(t *testing.T) {
+	m := model.Logistic{Dim: 2}
+	if _, err := Run(nil, []ClientData{{X: mat.NewDense(1, 2), Y: []float64{1}}}, Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Run(m, nil, Config{}); err == nil {
+		t.Error("no clients accepted")
+	}
+	if _, err := Run(m, []ClientData{{X: mat.NewDense(0, 2)}}, Config{}); err == nil {
+		t.Error("empty client accepted")
+	}
+	if _, err := Run(m, []ClientData{{X: mat.NewDense(1, 2), Y: []float64{1, 1}}}, Config{}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if _, err := Run(m, []ClientData{{X: mat.NewDense(1, 3), Y: []float64{1}}}, Config{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestFedAvgDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	task := data.LinearTask{W: mat.Vec{1, -1}}
+	clients := iidClients(rng, task, 4, 20)
+	m := model.Logistic{Dim: 2}
+	r1, err := Run(m, clients, Config{Rounds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(m, clients, Config{Rounds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Dist2(r1.Global, r2.Global) != 0 {
+		t.Error("same seed produced different globals")
+	}
+}

@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(n int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func benchVec(n int) Vec {
+	rng := rand.New(rand.NewSource(2))
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func BenchmarkDot1k(b *testing.B) {
+	x, y := benchVec(1024), benchVec(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkAxpy1k(b *testing.B) {
+	x, y := benchVec(1024), benchVec(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkMulVec128(b *testing.B) {
+	m := benchMat(128)
+	x := benchVec(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x)
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	m := benchMat(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Mul(m)
+	}
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randPSD(rng, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolve64(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randPSD(rng, 64)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchVec(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch.SolveVec(rhs)
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	x := benchVec(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LogSumExp(x)
+	}
+}

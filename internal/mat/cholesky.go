@@ -1,0 +1,165 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPSD reports that a matrix handed to Cholesky was not (numerically)
+// symmetric positive definite even after jitter escalation.
+var ErrNotPSD = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular factor L with A = L Lᵀ.
+type Cholesky struct {
+	L *Dense // lower triangular, upper part zero
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// It fails with ErrNotPSD when a is not numerically PD.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	a.checkSquare("Cholesky")
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.Data[j*n+k]
+			d += v * v
+		}
+		d = a.Data[j*n+j] - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPSD, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.Data[i*n+k] * l.Data[j*n+k]
+			}
+			l.Data[i*n+j] = (a.Data[i*n+j] - s) / ljj
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// NewCholeskyJitter factors a, escalating a diagonal jitter from jitter0
+// by factors of 10 up to maxTries times until the factorization succeeds.
+// It returns the factor and the jitter that was finally applied.
+func NewCholeskyJitter(a *Dense, jitter0 float64, maxTries int) (*Cholesky, float64, error) {
+	if jitter0 <= 0 {
+		jitter0 = 1e-10
+	}
+	if ch, err := NewCholesky(a); err == nil {
+		return ch, 0, nil
+	}
+	jitter := jitter0
+	for try := 0; try < maxTries; try++ {
+		aj := a.Clone()
+		for i := 0; i < aj.Rows; i++ {
+			aj.Data[i*aj.Cols+i] += jitter
+		}
+		if ch, err := NewCholesky(aj); err == nil {
+			return ch, jitter, nil
+		}
+		jitter *= 10
+	}
+	return nil, 0, fmt.Errorf("cholesky with jitter up to %g: %w", jitter/10, ErrNotPSD)
+}
+
+// SolveVec solves A x = b given A = L Lᵀ, returning x.
+func (c *Cholesky) SolveVec(b Vec) Vec {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky.SolveVec: length %d, want %d", len(b), n))
+	}
+	// Forward substitution: L y = b.
+	y := make(Vec, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.L.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / c.L.Data[i*n+i]
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.Data[k*n+i] * x[k]
+		}
+		x[i] = s / c.L.Data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A X = B column-by-column.
+func (c *Cholesky) Solve(b *Dense) *Dense {
+	if b.Rows != c.L.Rows {
+		panic(fmt.Sprintf("mat: Cholesky.Solve: got %d rows, want %d", b.Rows, c.L.Rows))
+	}
+	out := NewDense(b.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		x := c.SolveVec(b.Col(j))
+		for i, v := range x {
+			out.Data[i*out.Cols+j] = v
+		}
+	}
+	return out
+}
+
+// Inverse returns A⁻¹.
+func (c *Cholesky) Inverse() *Dense {
+	return c.Solve(Eye(c.L.Rows))
+}
+
+// LogDet returns log det A = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	n := c.L.Rows
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.Data[i*n+i])
+	}
+	return 2 * s
+}
+
+// MulVecL returns L x, used to sample from N(mu, A) as mu + L z.
+func (c *Cholesky) MulVecL(x Vec) Vec {
+	n := c.L.Rows
+	if len(x) != n {
+		panic(fmt.Sprintf("mat: Cholesky.MulVecL: length %d, want %d", len(x), n))
+	}
+	y := make(Vec, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		row := c.L.Data[i*n : i*n+i+1]
+		for k, v := range row {
+			s += v * x[k]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// SolveL solves L y = b (forward substitution only). The squared norm of
+// the result is the Mahalanobis quadratic (b)ᵀA⁻¹(b), which the Gaussian
+// log-density uses without completing the full solve.
+func (c *Cholesky) SolveL(b Vec) Vec {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky.SolveL: length %d, want %d", len(b), n))
+	}
+	y := make(Vec, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.L.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / c.L.Data[i*n+i]
+	}
+	return y
+}

@@ -1,0 +1,62 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func benchSetup(b *testing.B, m Model, kind string, n int) (mat.Vec, *mat.Dense, []float64, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x, y := randData(rng, n, m.InputDim(), kind, 10)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return randParams(rng, m.NumParams()), x, y, w
+}
+
+func BenchmarkLogisticLosses200(b *testing.B) {
+	m := Logistic{Dim: 20}
+	params, x, y, _ := benchSetup(b, m, "binary", 200)
+	out := make([]float64, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Losses(params, x, y, out)
+	}
+}
+
+func BenchmarkLogisticGrad200(b *testing.B) {
+	m := Logistic{Dim: 20}
+	params, x, y, w := benchSetup(b, m, "binary", 200)
+	grad := make(mat.Vec, m.NumParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mat.Fill(grad, 0)
+		m.WeightedGrad(params, x, y, w, grad)
+	}
+}
+
+func BenchmarkSoftmaxGradDigits(b *testing.B) {
+	m := Softmax{Dim: 64, Classes: 10}
+	params, x, y, w := benchSetup(b, m, "class", 100)
+	grad := make(mat.Vec, m.NumParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mat.Fill(grad, 0)
+		m.WeightedGrad(params, x, y, w, grad)
+	}
+}
+
+func BenchmarkMLPGrad(b *testing.B) {
+	m := MLP{Dim: 64, Hidden: 16, Classes: 10}
+	params, x, y, w := benchSetup(b, m, "class", 100)
+	grad := make(mat.Vec, m.NumParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mat.Fill(grad, 0)
+		m.WeightedGrad(params, x, y, w, grad)
+	}
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func TestHingeLossValues(t *testing.T) {
+	h := Hinge{Dim: 1}
+	params := mat.Vec{1, 0} // margin = y·x
+	x := mat.FromRows([][]float64{{2}, {0.5}, {-1}})
+	y := []float64{1, 1, 1}
+	losses := h.Losses(params, x, y, nil)
+	want := []float64{0, 0.5, 2}
+	for i := range want {
+		if math.Abs(losses[i]-want[i]) > 1e-12 {
+			t.Errorf("loss[%d] = %v, want %v", i, losses[i], want[i])
+		}
+	}
+}
+
+func TestHingeGradCheck(t *testing.T) {
+	// Subgradient: finite differences match wherever no sample sits at
+	// the kink; random params land there with probability 0.
+	rng := rand.New(rand.NewSource(190))
+	h := Hinge{Dim: 4}
+	x, y := randData(rng, 15, 4, "binary", 0)
+	w := randWeights(rng, 15)
+	params := randParams(rng, h.NumParams())
+	if err := GradCheck(h, params, x, y, w, 1e-7); err > 1e-5 {
+		t.Errorf("hinge gradient check relative error %g", err)
+	}
+}
+
+func TestHingeZeroGradOnSeparated(t *testing.T) {
+	h := Hinge{Dim: 1}
+	params := mat.Vec{10, 0} // margin 10·|x| ≥ 1 for the data below
+	x := mat.FromRows([][]float64{{1}, {-2}})
+	y := []float64{1, -1}
+	grad := h.WeightedGrad(params, x, y, []float64{0.5, 0.5}, nil)
+	if mat.Norm2(grad) != 0 {
+		t.Errorf("gradient on separated data = %v", grad)
+	}
+}
+
+func TestHingeLipschitz(t *testing.T) {
+	h := Hinge{Dim: 2}
+	if got := h.Lipschitz(mat.Vec{3, 4, 99}); got != 5 {
+		t.Errorf("Lipschitz = %v", got)
+	}
+	from, to := h.WeightBlock()
+	if from != 0 || to != 2 {
+		t.Errorf("WeightBlock = [%d,%d)", from, to)
+	}
+}
+
+func TestHingeTrainsLinearTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	h := Hinge{Dim: 3}
+	wstar := mat.Vec{2, -1, 1}
+	x, y := randData(rng, 200, 3, "binary", 0)
+	// Relabel by the true separator for a learnable task.
+	for i := 0; i < x.Rows; i++ {
+		if mat.Dot(wstar, x.Row(i)) >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	params := make(mat.Vec, h.NumParams())
+	w := make([]float64, x.Rows)
+	for i := range w {
+		w[i] = 1 / float64(x.Rows)
+	}
+	grad := make(mat.Vec, h.NumParams())
+	for iter := 0; iter < 500; iter++ {
+		mat.Fill(grad, 0)
+		h.WeightedGrad(params, x, y, w, grad)
+		mat.Axpy(-0.5, grad, params)
+	}
+	if acc := Accuracy(h, params, x, y); acc < 0.97 {
+		t.Errorf("hinge training accuracy %v", acc)
+	}
+}

@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// LaplacePosterior returns the Laplace-approximation posterior covariance
+// of a trained model: Σ = (n·H(θ̂) + ridge·I)⁻¹, where H is the Hessian of
+// the mean loss at θ̂, computed by central finite differences of the
+// analytic gradient (O(p) gradient evaluations). This is how the cloud
+// summarizes each solved task into the (μ, Σ) pair that feeds the DP
+// prior construction.
+func LaplacePosterior(m Model, params mat.Vec, x *mat.Dense, y []float64, ridge float64) (*mat.Dense, error) {
+	if ridge < 0 {
+		return nil, fmt.Errorf("model: LaplacePosterior: negative ridge %g", ridge)
+	}
+	if ridge == 0 {
+		ridge = 1e-6
+	}
+	p := len(params)
+	n := float64(x.Rows)
+	uniform := make([]float64, x.Rows)
+	for i := range uniform {
+		uniform[i] = 1 / n
+	}
+	gradAt := func(theta mat.Vec) mat.Vec {
+		return m.WeightedGrad(theta, x, y, uniform, nil)
+	}
+
+	const h = 1e-5
+	hess := mat.NewDense(p, p)
+	work := mat.CloneVec(params)
+	for j := 0; j < p; j++ {
+		orig := work[j]
+		work[j] = orig + h
+		gp := gradAt(work)
+		work[j] = orig - h
+		gm := gradAt(work)
+		work[j] = orig
+		for i := 0; i < p; i++ {
+			hess.Set(i, j, (gp[i]-gm[i])/(2*h))
+		}
+	}
+	hess.Symmetrize()
+
+	// Posterior precision n·H + ridge·I; covariance is its inverse.
+	prec := hess
+	prec.ScaleBy(n)
+	for i := 0; i < p; i++ {
+		prec.Data[i*p+i] += ridge
+	}
+	ch, _, err := mat.NewCholeskyJitter(prec, 1e-8, 10)
+	if err != nil {
+		return nil, fmt.Errorf("model: LaplacePosterior: precision not PD: %w", err)
+	}
+	cov := ch.Inverse()
+	cov.Symmetrize()
+	return cov, nil
+}

@@ -1,0 +1,282 @@
+// Package sim is a discrete-event simulator of a drdp deployment: a
+// fleet of edge devices arriving over time, fetching the DP prior from
+// one cloud over heterogeneous links (WiFi/4G/3G), training locally, and
+// reporting their solved tasks back. Training inside the simulation is
+// real (the actual DRDP learner runs and real accuracies are measured);
+// only the clock is modeled — transfer times from the link profiles and
+// a calibrated compute-rate model for training time.
+//
+// The simulator answers the deployment questions the evaluation's
+// systems analysis raises: how prior staleness (cloud rebuild policy),
+// link quality and arrival order interact to shape fleet-wide
+// time-to-model and accuracy (EXPERIMENTS.md Figure 10).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/drdp/drdp/internal/core"
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+)
+
+// DeviceSpec describes one simulated edge device.
+type DeviceSpec struct {
+	ID       int
+	ArriveAt time.Duration
+	Link     edge.LinkProfile
+	Samples  int  // local training samples
+	Report   bool // upload the solved task posterior
+	Cluster  int  // task-family cluster the device's task comes from
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// Family generates device tasks; Model is the shared model family.
+	Family *data.TaskFamily
+	Model  model.Logistic
+	// Set is the local uncertainty ball each device trains with.
+	Set dro.Set
+	// Alpha is the cloud's DP concentration.
+	Alpha float64
+	// RebuildEvery batches prior rebuilds: the cloud folds reports into
+	// the served prior only after this many accumulate (1 = immediately).
+	RebuildEvery int
+	// ComputeRate calibrates simulated training time: parameter-gradient
+	// evaluations per second (default 5e6).
+	ComputeRate float64
+	// TestSamples sizes the per-device accuracy measurement (default 1000).
+	TestSamples int
+	// Flip is the label noise on device tasks.
+	Flip float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RebuildEvery <= 0 {
+		c.RebuildEvery = 1
+	}
+	if c.ComputeRate <= 0 {
+		c.ComputeRate = 5e6
+	}
+	if c.TestSamples <= 0 {
+		c.TestSamples = 1000
+	}
+	return c
+}
+
+// DeviceResult reports one device's simulated lifecycle.
+type DeviceResult struct {
+	ID              int
+	ArriveAt        time.Duration
+	FetchedVersion  uint64 // 0 = cold cloud, trained without a prior
+	PriorComponents int
+	Accuracy        float64
+	DownlinkTime    time.Duration // prior transfer
+	TrainTime       time.Duration // simulated compute time
+	UplinkTime      time.Duration // report transfer (0 if not reporting)
+	TimeToModel     time.Duration // arrive → model ready
+}
+
+// Result aggregates the run.
+type Result struct {
+	Devices      []DeviceResult
+	FinalVersion uint64
+	Rebuilds     int
+	BytesDown    int // total prior bytes shipped to devices
+	BytesUp      int // total posterior bytes reported
+}
+
+// event is one scheduled simulator transition.
+type event struct {
+	at   time.Duration
+	seq  int // tie-breaker for determinism
+	kind eventKind
+	dev  int // index into devices
+}
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evFetched
+	evTrained
+	evReportArrived
+)
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// cloudState is the simulated cloud: accumulated tasks and the currently
+// served prior (rebuilt per policy).
+type cloudState struct {
+	tasks        []dpprior.TaskPosterior
+	pendingSince int // tasks not yet folded into the served prior
+	served       *dpprior.Prior
+	version      uint64
+	rebuilds     int
+	alpha        float64
+	seed         int64
+}
+
+func (c *cloudState) report(t dpprior.TaskPosterior, rebuildEvery int) error {
+	c.tasks = append(c.tasks, t)
+	c.pendingSince++
+	if c.pendingSince >= rebuildEvery {
+		p, err := dpprior.Build(c.tasks, dpprior.BuildOptions{Alpha: c.alpha, Seed: c.seed})
+		if err != nil {
+			return fmt.Errorf("sim: cloud rebuild: %w", err)
+		}
+		c.served = p
+		c.version++
+		c.rebuilds++
+		c.pendingSince = 0
+	}
+	return nil
+}
+
+// deviceState carries a device's in-flight data between events.
+type deviceState struct {
+	spec    DeviceSpec
+	task    data.LinearTask
+	train   *data.Dataset
+	test    *data.Dataset
+	prior   *dpprior.Prior
+	version uint64
+	result  DeviceResult
+	fit     *core.Result
+	cov     *mat.Dense // Laplace posterior covariance, computed once
+}
+
+// Run executes the simulation and returns per-device results ordered by
+// device arrival.
+func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
+	if cfg.Family == nil {
+		return nil, errors.New("sim: Config.Family is required")
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("sim: no devices")
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	devices := make([]*deviceState, len(specs))
+	for i, spec := range specs {
+		if spec.Samples <= 0 {
+			return nil, fmt.Errorf("sim: device %d has no samples", spec.ID)
+		}
+		task := cfg.Family.SampleTask(rng, spec.Cluster)
+		task.Flip = cfg.Flip
+		devices[i] = &deviceState{
+			spec:  spec,
+			task:  task,
+			train: task.Sample(rng, spec.Samples),
+			test:  task.Sample(rng, cfg.TestSamples),
+			result: DeviceResult{
+				ID:       spec.ID,
+				ArriveAt: spec.ArriveAt,
+			},
+		}
+	}
+
+	cloud := &cloudState{alpha: cfg.Alpha, seed: cfg.Seed + 1}
+	q := &eventQueue{}
+	seq := 0
+	push := func(at time.Duration, kind eventKind, dev int) {
+		heap.Push(q, event{at: at, seq: seq, kind: kind, dev: dev})
+		seq++
+	}
+	for i, d := range devices {
+		push(d.spec.ArriveAt, evArrive, i)
+	}
+
+	out := &Result{}
+	for q.Len() > 0 {
+		e := heap.Pop(q).(event)
+		d := devices[e.dev]
+		switch e.kind {
+		case evArrive:
+			// Snapshot the served prior NOW; downlink delay follows.
+			d.prior = cloud.served
+			d.version = cloud.version
+			var downlink time.Duration
+			if d.prior != nil {
+				wire := d.prior.WireSize()
+				downlink = d.spec.Link.TransferTime(wire)
+				out.BytesDown += wire
+			} else {
+				downlink = d.spec.Link.Latency // empty "no prior yet" reply
+			}
+			d.result.DownlinkTime = downlink
+			d.result.FetchedVersion = d.version
+			if d.prior != nil {
+				d.result.PriorComponents = len(d.prior.Components)
+			}
+			push(e.at+downlink, evFetched, e.dev)
+
+		case evFetched:
+			// Real training; simulated duration from the compute model.
+			dev := &edge.Device{ID: d.spec.ID, Model: cfg.Model, Set: cfg.Set}
+			res, err := dev.TrainWithPrior(d.prior, d.train.X, d.train.Y)
+			if err != nil {
+				return nil, fmt.Errorf("sim: device %d train: %w", d.spec.ID, err)
+			}
+			d.fit = res
+			d.result.Accuracy = model.Accuracy(cfg.Model, res.Params, d.test.X, d.test.Y)
+			// Cost model: EM iterations × M-step budget × n × params.
+			ops := float64(res.EMIterations) * 200 * float64(d.train.Len()) * float64(cfg.Model.NumParams())
+			d.result.TrainTime = time.Duration(ops / cfg.ComputeRate * float64(time.Second))
+			push(e.at+d.result.TrainTime, evTrained, e.dev)
+
+		case evTrained:
+			d.result.TimeToModel = e.at - d.spec.ArriveAt
+			if !d.spec.Report {
+				break
+			}
+			cov, err := model.LaplacePosterior(cfg.Model, d.fit.Params, d.train.X, d.train.Y, 1e-3)
+			if err != nil {
+				return nil, fmt.Errorf("sim: device %d posterior: %w", d.spec.ID, err)
+			}
+			d.cov = cov
+			wire := 8 * (len(d.fit.Params) + len(cov.Data) + 1)
+			d.result.UplinkTime = d.spec.Link.TransferTime(wire)
+			out.BytesUp += wire
+			push(e.at+d.result.UplinkTime, evReportArrived, e.dev)
+
+		case evReportArrived:
+			if err := cloud.report(dpprior.TaskPosterior{
+				Mu:    d.fit.Params,
+				Sigma: d.cov,
+				N:     d.train.Len(),
+			}, cfg.RebuildEvery); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, d := range devices {
+		out.Devices = append(out.Devices, d.result)
+	}
+	out.FinalVersion = cloud.version
+	out.Rebuilds = cloud.rebuilds
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// Wasserstein1D returns the 1-Wasserstein (earth mover's) distance between
+// the empirical distributions of samples x and y on the real line. For
+// equal sample counts this is the mean absolute difference of order
+// statistics; for unequal counts it integrates |F_x - F_y| over the
+// merged support.
+func Wasserstein1D(x, y []float64) float64 {
+	if len(x) == 0 || len(y) == 0 {
+		panic("stat: Wasserstein1D: empty sample")
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	if len(xs) == len(ys) {
+		var s float64
+		for i := range xs {
+			s += math.Abs(xs[i] - ys[i])
+		}
+		return s / float64(len(xs))
+	}
+	// General case: integrate |F_x(t) - F_y(t)| dt across merged breakpoints.
+	all := append(append([]float64(nil), xs...), ys...)
+	sort.Float64s(all)
+	var dist float64
+	var i, j int
+	for k := 0; k+1 < len(all); k++ {
+		t := all[k]
+		for i < len(xs) && xs[i] <= t {
+			i++
+		}
+		for j < len(ys) && ys[j] <= t {
+			j++
+		}
+		fx := float64(i) / float64(len(xs))
+		fy := float64(j) / float64(len(ys))
+		dist += math.Abs(fx-fy) * (all[k+1] - all[k])
+	}
+	return dist
+}
+
+// KLDiscrete returns KL(p || q) for probability vectors p, q. Entries of q
+// are floored at eps to keep the divergence finite for empirical
+// histograms with empty bins.
+func KLDiscrete(p, q []float64, eps float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stat: KLDiscrete: lengths %d != %d", len(p), len(q)))
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	var kl float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < eps {
+			qi = eps
+		}
+		kl += pi * math.Log(pi/qi)
+	}
+	return kl
+}
+
+// TotalVariation returns (1/2)·Σ|p_i − q_i| for probability vectors.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stat: TotalVariation: lengths %d != %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// MMDGaussian returns the (biased) squared maximum mean discrepancy
+// between sample sets x and y under a Gaussian kernel with bandwidth h.
+func MMDGaussian(x, y []mat.Vec, h float64) float64 {
+	if h <= 0 {
+		panic("stat: MMDGaussian: bandwidth must be positive")
+	}
+	k := func(a, b mat.Vec) float64 {
+		d := mat.Dist2(a, b)
+		return math.Exp(-d * d / (2 * h * h))
+	}
+	mean := func(as, bs []mat.Vec) float64 {
+		var s float64
+		for _, a := range as {
+			for _, b := range bs {
+				s += k(a, b)
+			}
+		}
+		return s / float64(len(as)*len(bs))
+	}
+	return mean(x, x) + mean(y, y) - 2*mean(x, y)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by linear interpolation
+// on the sorted sample. It copies xs and leaves it unmodified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stat: Quantile: empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = mat.Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,138 @@
+package stat
+
+import (
+	"math"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+func TestWasserstein1D(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"shift by 1", []float64{0, 1, 2}, []float64{1, 2, 3}, 1},
+		{"point masses", []float64{0}, []float64{5}, 5},
+		{"order invariance", []float64{3, 1, 2}, []float64{2, 3, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Wasserstein1D(tt.x, tt.y); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("W1 = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWasserstein1DUnequalSizes(t *testing.T) {
+	// x = {0,2} (mass 1/2 each), y = {0,0,2,2} — same distribution.
+	if got := Wasserstein1D([]float64{0, 2}, []float64{0, 0, 2, 2}); math.Abs(got) > 1e-12 {
+		t.Errorf("W1 of identical distributions (different n) = %v", got)
+	}
+	// Point mass at 0 vs point mass at 3 with different counts.
+	if got := Wasserstein1D([]float64{0, 0}, []float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("W1 = %v, want 3", got)
+	}
+}
+
+func TestWasserstein1DSymmetryProperty(t *testing.T) {
+	rng := NewRNG(200)
+	for trial := 0; trial < 50; trial++ {
+		n, m := 1+rng.Intn(20), 1+rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() + 1
+		}
+		d1 := Wasserstein1D(x, y)
+		d2 := Wasserstein1D(y, x)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("asymmetry: %v vs %v", d1, d2)
+		}
+		if d1 < 0 {
+			t.Fatalf("negative distance %v", d1)
+		}
+	}
+}
+
+func TestKLDiscrete(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log(2) + 0.5*math.Log(0.5/0.75)
+	if got := KLDiscrete(p, q, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	if got := KLDiscrete(p, p, 0); math.Abs(got) > 1e-12 {
+		t.Errorf("KL(p||p) = %v", got)
+	}
+	// Zero q entries are floored, not infinite.
+	if got := KLDiscrete([]float64{1, 0}, []float64{0, 1}, 1e-9); math.IsInf(got, 0) {
+		t.Error("flooring failed")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if got := TotalVariation([]float64{1, 0}, []float64{0, 1}); got != 1 {
+		t.Errorf("TV = %v, want 1", got)
+	}
+	if got := TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("TV = %v, want 0", got)
+	}
+}
+
+func TestMMDGaussian(t *testing.T) {
+	rng := NewRNG(201)
+	mk := func(shift float64, n int) []mat.Vec {
+		out := make([]mat.Vec, n)
+		for i := range out {
+			out[i] = mat.Vec{rng.NormFloat64() + shift, rng.NormFloat64()}
+		}
+		return out
+	}
+	same := MMDGaussian(mk(0, 100), mk(0, 100), 1)
+	diff := MMDGaussian(mk(0, 100), mk(3, 100), 1)
+	if diff <= same {
+		t.Errorf("MMD should separate shifted samples: same=%v diff=%v", same, diff)
+	}
+	if diff < 0.5 {
+		t.Errorf("MMD for well-separated samples = %v, expected near 2", diff)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Original must be unsorted still.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", std)
+	}
+	m0, s0 := MeanStd(nil)
+	if m0 != 0 || s0 != 0 {
+		t.Error("MeanStd(nil) should be (0,0)")
+	}
+}

@@ -1,0 +1,29 @@
+package stat
+
+import "math"
+
+// Digamma returns ψ(x), the logarithmic derivative of the Gamma function,
+// for x > 0, via the ascending recurrence ψ(x+1) = ψ(x) + 1/x into the
+// asymptotic regime and the standard Bernoulli-series expansion there.
+// Needed by the variational DP mixture fit (expectations of log Beta
+// variates: E[log v] = ψ(γ₁) − ψ(γ₁+γ₂)).
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		if x == math.Trunc(x) {
+			return math.NaN() // poles at non-positive integers
+		}
+		// Reflection: ψ(1−x) − ψ(x) = π cot(πx).
+		return Digamma(1-x) - math.Pi/math.Tan(math.Pi*x)
+	}
+	var result float64
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic series: ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n}).
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv
+	result -= inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2*(1.0/132)))))
+	return result
+}
