@@ -1,0 +1,24 @@
+# Standard checks; `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -52,6 +52,7 @@ var jobs = []job{
 	{id: "fig12", fig: experiment.Figure12GroundMetric},
 	{id: "table10", table: experiment.Table10Imbalance},
 	{id: "table11", table: experiment.Table11AlphaSelection},
+	{id: "table12", table: experiment.Table12LossyLinks},
 }
 
 func main() {

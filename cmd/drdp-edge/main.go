@@ -3,10 +3,18 @@
 // trains with DRDP, evaluates, and optionally reports its solved task
 // back to the cloud.
 //
+// The cloud connection is resilient by default: failed round trips are
+// retried with jittered exponential backoff, broken connections are
+// redialed, and a circuit breaker fails fast through an outage. With
+// -cache the last good prior persists across runs and an unreachable
+// cloud degrades to it (then, with -fallback-local, to prior-free
+// training) instead of failing; the degradation level is printed.
+//
 // Usage:
 //
 //	drdp-edge -cloud 127.0.0.1:7600 -n 20 -rho 0.05 -report
 //	drdp-edge -cloud 127.0.0.1:7600 -train train.csv -test test.csv -dim 20
+//	drdp-edge -cloud 127.0.0.1:7600 -cache prior.cache -fallback-local -retries 6
 //	drdp-edge -n 20                 # no cloud: local DRO training only
 package main
 
@@ -44,6 +52,13 @@ func run() error {
 		report  = flag.Bool("report", false, "report the solved task back to the cloud")
 		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed for synthetic data")
 		timeout = flag.Duration("timeout", 5*time.Second, "cloud dial timeout")
+
+		retries   = flag.Int("retries", edge.DefaultRetryPolicy.MaxAttempts, "round-trip attempts before giving up")
+		backoff   = flag.Duration("backoff", edge.DefaultRetryPolicy.Base, "base retry backoff (grows exponentially, jittered)")
+		rtTimeout = flag.Duration("rt-timeout", 10*time.Second, "per-round-trip deadline")
+		breakerN  = flag.Int("breaker-threshold", edge.DefaultBreakerConfig.Threshold, "consecutive failures that trip the circuit breaker (0 disables)")
+		cachePath = flag.String("cache", "", "prior cache file: fall back to the last good prior when the cloud is unreachable")
+		fallback  = flag.Bool("fallback-local", false, "train prior-free when the cloud is unreachable and the cache is cold")
 	)
 	flag.Parse()
 
@@ -80,20 +95,34 @@ func run() error {
 
 	m := model.Logistic{Dim: *dim}
 	dev := &edge.Device{
-		ID:    int(*seed % 1000),
-		Model: m,
-		Set:   dro.Set{Kind: setKind, Rho: *rho},
-		Tau:   *tau,
+		ID:            int(*seed % 1000),
+		Model:         m,
+		Set:           dro.Set{Kind: setKind, Rho: *rho},
+		Tau:           *tau,
+		FallbackLocal: *fallback,
+	}
+	if *cachePath != "" {
+		cache, err := edge.NewPriorCache(*cachePath)
+		if err != nil {
+			return err
+		}
+		dev.Cache = cache
 	}
 
 	start := time.Now()
 	if *cloud != "" {
-		client, err := edge.Dial(*cloud, *timeout)
-		if err != nil {
-			return err
-		}
+		retry := edge.DefaultRetryPolicy
+		retry.MaxAttempts = *retries
+		retry.Base = *backoff
+		client := edge.DialResilient(*cloud, edge.ResilientOptions{
+			Retry:            retry,
+			Breaker:          edge.BreakerConfig{Threshold: *breakerN, Cooldown: edge.DefaultBreakerConfig.Cooldown},
+			DialTimeout:      *timeout,
+			RoundTripTimeout: *rtTimeout,
+			Seed:             *seed,
+		})
 		defer client.Close()
-		result, err := dev.Run(client, train.X, train.Y, *report)
+		result, status, err := dev.RunWithStatus(client, train.X, train.Y, *report)
 		if err != nil {
 			return err
 		}
@@ -101,6 +130,17 @@ func run() error {
 		fmt.Printf("em iterations: %d (converged=%v)\n", result.EMIterations, result.Converged)
 		if result.Responsibilities != nil {
 			fmt.Printf("prior responsibilities: %.3f\n", result.Responsibilities)
+		}
+		fmt.Printf("prior: %s (version %d)\n", status.Degradation, status.PriorVersion)
+		if status.FetchErr != nil {
+			fmt.Printf("degraded because: %v\n", status.FetchErr)
+		}
+		if status.ReportErr != nil {
+			fmt.Printf("report failed (model kept): %v\n", status.ReportErr)
+		}
+		st := client.TransportStats()
+		if st.Retries > 0 || st.Dials > 1 {
+			fmt.Printf("transport: %d dials, %d retries, breaker %s\n", st.Dials, st.Retries, st.Breaker)
 		}
 		return nil
 	}

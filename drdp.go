@@ -255,8 +255,46 @@ type (
 	EdgeClient = edge.Client
 	// EdgeDevice drives the fetch→train→report loop.
 	EdgeDevice = edge.Device
+	// EdgeCloud is the client-side interface a device runs against
+	// (satisfied by both *EdgeClient and *ResilientClient).
+	EdgeCloud = edge.Cloud
 	// LinkProfile models an edge uplink.
 	LinkProfile = edge.LinkProfile
+)
+
+// Resilient transport: retry/backoff, circuit breaking, fault injection
+// and graceful degradation for lossy edge links.
+type (
+	// ResilientClient is a self-healing cloud connection: redial, retries
+	// with seeded jittered backoff, and a circuit breaker.
+	ResilientClient = edge.ResilientClient
+	// ResilientOptions configures a ResilientClient.
+	ResilientOptions = edge.ResilientOptions
+	// RetryPolicy bounds and paces retries.
+	RetryPolicy = edge.RetryPolicy
+	// BreakerConfig tunes the circuit breaker.
+	BreakerConfig = edge.BreakerConfig
+	// TransportStats counts dials/retries/failures on a resilient client.
+	TransportStats = edge.TransportStats
+	// PriorCache keeps the last good prior for offline fallback.
+	PriorCache = edge.PriorCache
+	// RunStatus reports the degradation level a device round ran at.
+	RunStatus = edge.RunStatus
+	// Degradation is the prior level a round actually used.
+	Degradation = edge.Degradation
+	// FaultConfig schedules deterministic faults on a connection
+	// (chaos testing of edge deployments).
+	FaultConfig = edge.FaultConfig
+)
+
+// Degradation levels.
+const (
+	// DegradedNone trained with a current cloud prior.
+	DegradedNone = edge.DegradedNone
+	// DegradedCached trained with the last good cached prior.
+	DegradedCached = edge.DegradedCached
+	// DegradedLocal trained without a prior.
+	DegradedLocal = edge.DegradedLocal
 )
 
 var (
@@ -264,6 +302,20 @@ var (
 	NewCloudServer = edge.NewCloudServer
 	// DialCloud connects an edge client.
 	DialCloud = edge.Dial
+	// DialResilient creates a lazy-dialing self-healing edge client.
+	DialResilient = edge.DialResilient
+	// NewResilientClient wraps a custom dial function (simulated links).
+	NewResilientClient = edge.NewResilientClient
+	// NewPriorCache creates an optionally file-backed prior cache.
+	NewPriorCache = edge.NewPriorCache
+	// DefaultRetryPolicy is the recommended edge retry schedule.
+	DefaultRetryPolicy = edge.DefaultRetryPolicy
+	// DefaultBreakerConfig is the recommended breaker tuning.
+	DefaultBreakerConfig = edge.DefaultBreakerConfig
+	// ErrCircuitOpen reports a tripped client circuit breaker.
+	ErrCircuitOpen = edge.ErrCircuitOpen
+	// ErrNoPrior reports a legitimately cold cloud (no tasks yet).
+	ErrNoPrior = edge.ErrNoPrior
 )
 
 // Standard uplink profiles.

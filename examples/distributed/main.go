@@ -4,12 +4,19 @@
 // prior they build lifts the late-arriving devices that only have a
 // handful of samples — knowledge accumulation over the wire.
 //
+// Phase 3 then turns the network hostile: devices pull the prior through
+// a link that drops and resets connections, using the resilient
+// transport (retry/backoff + redial + prior cache), and finally through
+// a total outage, where training degrades to the cached prior instead
+// of failing.
+//
 //	go run ./examples/distributed
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"github.com/drdp/drdp"
@@ -113,13 +120,60 @@ func run() error {
 			drdp.Accuracy(m, res.Params, test.X, test.Y))
 	}
 
+	// Phase 3: a flaky uplink. The fault injector drops 20% of writes and
+	// resets 10% of operations; the resilient client retries, redials,
+	// and keeps the last good prior cached.
+	fmt.Println("\nphase 3: flaky uplink (20% drops, 10% resets) through the resilient client")
+	cache, err := drdp.NewPriorCache("")
+	if err != nil {
+		return err
+	}
+	faults := &drdp.FaultConfig{Seed: 99, DropWrite: 0.2, Reset: 0.1}
+	retry := drdp.DefaultRetryPolicy
+	retry.MaxAttempts = 8
+	retry.Base = 20 * time.Millisecond
+	rc := drdp.NewResilientClient(func() (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return faults.Wrap(conn), nil
+	}, drdp.ResilientOptions{
+		Retry:            retry,
+		Breaker:          drdp.BreakerConfig{Threshold: 16, Cooldown: 200 * time.Millisecond},
+		RoundTripTimeout: 500 * time.Millisecond, // drops must be detected fast
+		Seed:             99,
+	})
+	defer rc.Close()
+
+	dev := &drdp.EdgeDevice{
+		ID: 7, Model: m, Set: set, Tau: 0.5, EMIters: 15,
+		Cache: cache, FallbackLocal: true,
+	}
+	task := family.SampleTask(rng, 1)
+	task.Flip = 0.05
+	for round := 0; round < 3; round++ {
+		train := task.Sample(rng, 12)
+		res, status, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+		if err != nil {
+			return fmt.Errorf("flaky round %d: %w", round, err)
+		}
+		test := task.Sample(rng, 1000)
+		fmt.Printf("  round %d: prior=%s (v%d)  accuracy %.3f\n",
+			round, status.Degradation, status.PriorVersion,
+			drdp.Accuracy(m, res.Params, test.X, test.Y))
+	}
+	st := rc.TransportStats()
+	fmt.Printf("  transport: %d dials, %d retries, %d failures, breaker %s\n",
+		st.Dials, st.Retries, st.Failures, st.Breaker)
+
 	// Systems view: what did shipping the prior cost?
 	client, err := drdp.DialCloud(addr, 3*time.Second)
 	if err != nil {
 		return err
 	}
-	defer client.Close()
 	stats, err := client.Stats()
+	client.Close()
 	if err != nil {
 		return err
 	}
@@ -128,5 +182,26 @@ func run() error {
 		drdp.LinkWiFi.TransferTime(stats.WireBytes),
 		drdp.Link4G.TransferTime(stats.WireBytes),
 		drdp.Link3G.TransferTime(stats.WireBytes))
+
+	// Total outage: the cloud goes away entirely; the device still
+	// completes its round on the cached prior.
+	fmt.Println("\ntotal outage: cloud down, device runs on the cached prior")
+	srv.Close()
+	outage := drdp.DialResilient(addr, drdp.ResilientOptions{
+		Retry:            drdp.RetryPolicy{MaxAttempts: 2, Base: 50 * time.Millisecond},
+		DialTimeout:      500 * time.Millisecond,
+		RoundTripTimeout: time.Second,
+		Seed:             100,
+	})
+	defer outage.Close()
+	train := task.Sample(rng, 12)
+	res, status, err := dev.RunWithStatus(outage, train.X, train.Y, false)
+	if err != nil {
+		return fmt.Errorf("outage round: %w", err)
+	}
+	test := task.Sample(rng, 1000)
+	fmt.Printf("  prior=%s (v%d)  accuracy %.3f\n",
+		status.Degradation, status.PriorVersion,
+		drdp.Accuracy(m, res.Params, test.X, test.Y))
 	return nil
 }

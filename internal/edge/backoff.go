@@ -1,0 +1,86 @@
+package edge
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds and paces retries of failed round trips:
+// exponential backoff from Base, multiplied by Multiplier per attempt,
+// capped at Max, with a seeded ±Jitter fraction so a fleet of devices
+// retrying the same outage does not stampede the cloud in lockstep.
+//
+// The zero value is usable and means "no retries" (one attempt, no
+// waiting); DefaultRetryPolicy is the recommended starting point.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 are treated as 1.
+	MaxAttempts int
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (0 = no cap).
+	Max time.Duration
+	// Multiplier grows the delay per retry (values <= 1 mean constant).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [d·(1−J), d·(1+J)],
+	// clamped to [0, 1]. Zero disables jitter.
+	Jitter float64
+}
+
+// DefaultRetryPolicy suits the lossy 3G/4G uplinks netsim models: four
+// tries over roughly a second and a half before giving up.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	Base:        100 * time.Millisecond,
+	Max:         2 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the wait before retry number retry (0 = first retry).
+// rng supplies the jitter; a nil rng disables jitter, and a seeded rng
+// makes the schedule fully deterministic.
+func (p RetryPolicy) Delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.Base)
+	if p.Multiplier > 1 {
+		for i := 0; i < retry; i++ {
+			d *= p.Multiplier
+			if p.Max > 0 && d >= float64(p.Max) {
+				d = float64(p.Max)
+				break
+			}
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if j := p.jitter(); j > 0 && rng != nil {
+		// Uniform over [d(1-j), d(1+j)]; still capped at Max.
+		d *= 1 - j + 2*j*rng.Float64()
+		if p.Max > 0 && d > float64(p.Max) {
+			d = float64(p.Max)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+func (p RetryPolicy) jitter() float64 {
+	switch {
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter > 1:
+		return 1
+	default:
+		return p.Jitter
+	}
+}

@@ -1,0 +1,126 @@
+package edge
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports that the client's circuit breaker is open: the
+// cloud has failed enough consecutive round trips that further attempts
+// are refused immediately (no dial, no retries) until the cool-down
+// elapses. Callers should degrade (cached prior, local-only training)
+// rather than wait.
+var ErrCircuitOpen = errors.New("edge: circuit breaker open")
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed is normal operation: requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the cool-down has not elapsed.
+	BreakerOpen
+	// BreakerHalfOpen lets probe requests through; one success closes
+	// the breaker, one failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the failure threshold and recovery cool-down.
+// The zero value disables the breaker (it never opens).
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transport failures that
+	// trips the breaker. 0 disables it.
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerConfig trips after 5 consecutive failures and probes
+// again after 2 seconds.
+var DefaultBreakerConfig = BreakerConfig{Threshold: 5, Cooldown: 2 * time.Second}
+
+// breaker is a minimal consecutive-failure circuit breaker. now is
+// injectable so state transitions are testable with a fake clock.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now}
+}
+
+// allow reports whether a request may proceed, transitioning
+// open → half-open when the cool-down has elapsed.
+func (b *breaker) allow() error {
+	if b.cfg.Threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+	}
+	return nil
+}
+
+func (b *breaker) onSuccess() {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+func (b *breaker) onFailure() {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	// A half-open probe failing re-opens immediately; in closed state the
+	// consecutive-failure count must reach the threshold.
+	if b.state == BreakerHalfOpen || b.failures >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state (open is reported even before the next
+// allow() would flip it to half-open).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,120 @@
+package edge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// PriorCache keeps the last good prior a device fetched, so a flaky or
+// down cloud degrades training to "slightly stale prior" instead of
+// "no prior at all". With a non-empty path the cache also persists
+// across process restarts (gob, atomic rename), which is what a real
+// edge deployment needs after a power cycle in a dead zone.
+//
+// The stored version feeds Device.Run's conditional fetch: a warm cache
+// turns every refresh against an idle cloud into a handshake.
+//
+// PriorCache is safe for concurrent use.
+type PriorCache struct {
+	path string // "" = memory-only
+
+	mu      sync.Mutex
+	prior   *dpprior.Prior
+	version uint64
+}
+
+// cacheFile is the on-disk format.
+type cacheFile struct {
+	Version uint64
+	Prior   *dpprior.Prior
+}
+
+// NewPriorCache creates a cache. path may be empty for a memory-only
+// cache; when the file exists its contents are loaded and validated
+// (a corrupt or invalid file is an error — delete it to start cold).
+func NewPriorCache(path string) (*PriorCache, error) {
+	pc := &PriorCache{path: path}
+	if path == "" {
+		return pc, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return pc, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("edge: prior cache: %w", err)
+	}
+	defer f.Close()
+	var cf cacheFile
+	if err := gob.NewDecoder(f).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("edge: prior cache %s: decode: %w", path, err)
+	}
+	if cf.Prior == nil || cf.Version == 0 {
+		return nil, fmt.Errorf("edge: prior cache %s: incomplete entry", path)
+	}
+	if err := cf.Prior.Validate(); err != nil {
+		return nil, fmt.Errorf("edge: prior cache %s: invalid prior: %w", path, err)
+	}
+	pc.prior, pc.version = cf.Prior, cf.Version
+	return pc, nil
+}
+
+// Get returns the cached prior and its version; ok is false when the
+// cache is cold.
+func (pc *PriorCache) Get() (prior *dpprior.Prior, version uint64, ok bool) {
+	if pc == nil {
+		return nil, 0, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.prior, pc.version, pc.prior != nil
+}
+
+// Version returns the cached version (0 when cold) — the value to pass
+// as KnownVersion in a conditional fetch.
+func (pc *PriorCache) Version() uint64 {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.version
+}
+
+// Put stores a freshly fetched prior and persists it when the cache is
+// file-backed. A nil prior or zero version is rejected.
+func (pc *PriorCache) Put(prior *dpprior.Prior, version uint64) error {
+	if prior == nil || version == 0 {
+		return fmt.Errorf("edge: prior cache: refusing to store nil prior / version 0")
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.prior, pc.version = prior, version
+	if pc.path == "" {
+		return nil
+	}
+	// Atomic replace: write a sibling temp file, then rename over the
+	// target, so a crash mid-write never leaves a torn cache.
+	dir := filepath.Dir(pc.path)
+	tmp, err := os.CreateTemp(dir, ".prior-cache-*")
+	if err != nil {
+		return fmt.Errorf("edge: prior cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(cacheFile{Version: version, Prior: prior}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("edge: prior cache: encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("edge: prior cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), pc.path); err != nil {
+		return fmt.Errorf("edge: prior cache: %w", err)
+	}
+	return nil
+}

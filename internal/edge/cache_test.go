@@ -1,0 +1,96 @@
+package edge
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+func testPrior(t *testing.T, seed int64, dim int) *dpprior.Prior {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := dpprior.Build(seedTasks(rng, 3, dim), buildOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPriorCacheMemory(t *testing.T) {
+	pc, err := NewPriorCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pc.Get(); ok {
+		t.Fatal("cold cache reported a prior")
+	}
+	if pc.Version() != 0 {
+		t.Fatalf("cold cache version %d", pc.Version())
+	}
+	p := testPrior(t, 300, 3)
+	if err := pc.Put(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, v, ok := pc.Get()
+	if !ok || v != 7 || got != p {
+		t.Fatalf("Get = %v, %d, %v", got, v, ok)
+	}
+	// Invalid puts are rejected.
+	if err := pc.Put(nil, 8); err == nil {
+		t.Error("nil prior accepted")
+	}
+	if err := pc.Put(p, 0); err == nil {
+		t.Error("version 0 accepted")
+	}
+}
+
+func TestPriorCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prior.cache")
+	pc, err := NewPriorCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPrior(t, 301, 4)
+	if err := pc.Put(p, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache (simulating a process restart) loads the entry.
+	pc2, err := NewPriorCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, v, ok := pc2.Get()
+	if !ok || v != 3 {
+		t.Fatalf("reloaded cache: ok=%v version=%d", ok, v)
+	}
+	if got.Dim != p.Dim || len(got.Components) != len(p.Components) {
+		t.Errorf("reloaded prior differs: dim %d vs %d", got.Dim, p.Dim)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("reloaded prior invalid: %v", err)
+	}
+}
+
+func TestPriorCacheCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prior.cache")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPriorCache(path); err == nil {
+		t.Fatal("corrupt cache file accepted")
+	}
+}
+
+func TestPriorCacheNilReceiver(t *testing.T) {
+	var pc *PriorCache
+	if _, _, ok := pc.Get(); ok {
+		t.Error("nil cache reported a prior")
+	}
+	if pc.Version() != 0 {
+		t.Error("nil cache has a version")
+	}
+}

@@ -1,0 +1,216 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/model"
+)
+
+// chaosCases enumerates one fault class per entry, each aggressive
+// enough to break a plain Client but survivable by a ResilientClient
+// with retries, a cache, and local fallback.
+func chaosCases() map[string]FaultConfig {
+	return map[string]FaultConfig{
+		"drops":    {Seed: 1, DropWrite: 0.3},
+		"resets":   {Seed: 2, Reset: 0.15},
+		"corrupt":  {Seed: 3, CorruptWrite: 0.2, CorruptRead: 0.1},
+		"partial":  {Seed: 4, PartialWrite: 0.25},
+		"stalls":   {Seed: 5, DelayProb: 0.4, Delay: 120 * time.Millisecond},
+		"everything": {
+			Seed: 6, DropWrite: 0.1, Reset: 0.05, CorruptWrite: 0.05,
+			CorruptRead: 0.05, PartialWrite: 0.1, DelayProb: 0.2,
+			Delay: 60 * time.Millisecond,
+		},
+	}
+}
+
+// TestChaosDeviceLoop drives the full fetch→train→report loop through
+// every fault class. The acceptance bar: every round completes (fresh,
+// cached, or local as availability dictates), nothing hangs past its
+// deadline budget, the server never dies, and the degradation level is
+// reported truthfully.
+func TestChaosDeviceLoop(t *testing.T) {
+	for name, faults := range chaosCases() {
+		faults := faults
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(500))
+			addr, srv := startServer(t, seedTasks(rng, 4, 3))
+
+			task := data.LinearTask{W: []float64{2, -1}, Flip: 0.05}
+			cache, err := NewPriorCache("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := &Device{
+				ID:            7,
+				Model:         model.Logistic{Dim: 2},
+				Set:           dro.Set{Kind: dro.Wasserstein, Rho: 0.05},
+				EMIters:       5,
+				Cache:         cache,
+				FallbackLocal: true,
+			}
+
+			dial := faults.Dialer(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, time.Second)
+			})
+			rc := NewResilientClient(dial, ResilientOptions{
+				Retry:            RetryPolicy{MaxAttempts: 4, Base: 5 * time.Millisecond, Multiplier: 2, Jitter: 0.2},
+				Breaker:          BreakerConfig{Threshold: 8, Cooldown: 50 * time.Millisecond},
+				DialTimeout:      time.Second,
+				RoundTripTimeout: 400 * time.Millisecond,
+				Seed:             int64(len(name)),
+			})
+			defer rc.Close()
+
+			const rounds = 6
+			// Budget: rounds × attempts × (round trip + backoff) plus
+			// training slack. Far looser than reality; a hang blows it.
+			budget := time.Duration(rounds) * 8 * time.Second
+			done := make(chan error, 1)
+			levels := make([]Degradation, 0, rounds)
+			go func() {
+				for round := 0; round < rounds; round++ {
+					train := task.Sample(rng, 30)
+					res, st, err := dev.RunWithStatus(rc, train.X, train.Y, true)
+					if err != nil {
+						done <- fmt.Errorf("round %d failed: %w", round, err)
+						return
+					}
+					if res == nil {
+						done <- fmt.Errorf("round %d: nil result without error", round)
+						return
+					}
+					// Truthfulness: a degraded round must carry its cause;
+					// a fresh round must carry a version.
+					switch st.Degradation {
+					case DegradedNone:
+						if st.PriorVersion == 0 {
+							done <- fmt.Errorf("round %d: fresh but version 0", round)
+							return
+						}
+					case DegradedCached:
+						if st.FetchErr == nil || st.PriorVersion == 0 {
+							done <- fmt.Errorf("round %d: cached without cause/version: %+v", round, st)
+							return
+						}
+					case DegradedLocal:
+						if !st.ColdStart && st.FetchErr == nil {
+							done <- fmt.Errorf("round %d: local-only without cause: %+v", round, st)
+							return
+						}
+					}
+					levels = append(levels, st.Degradation)
+				}
+				done <- nil
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(budget):
+				t.Fatalf("chaos loop hung past its %v budget", budget)
+			}
+
+			// The server must still be healthy for a clean client.
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				t.Fatalf("server unreachable after chaos: %v", err)
+			}
+			defer c.Close()
+			c.SetRoundTripTimeout(2 * time.Second)
+			if _, err := c.Stats(); err != nil {
+				t.Errorf("server unhealthy after chaos: %v", err)
+			}
+			t.Logf("degradation per round: %v, transport stats %+v", levels, rc.TransportStats())
+			_ = srv
+		})
+	}
+}
+
+// TestChaosThrottledAndFaulty composes a lossy fault schedule with a
+// link-profile throttle — the "slow AND flaky 3G uplink" case — and
+// checks the loop still completes.
+func TestChaosThrottledAndFaulty(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	addr, _ := startServer(t, seedTasks(rng, 3, 3))
+	profile := LinkProfile{Name: "flaky", Latency: 5 * time.Millisecond, Bandwidth: 1e6}
+	faults := &FaultConfig{Seed: 9, DropWrite: 0.2, Reset: 0.1}
+
+	dial := func() (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return profile.Throttle(faults.Wrap(conn)), nil
+	}
+	rc := NewResilientClient(dial, ResilientOptions{
+		Retry:            RetryPolicy{MaxAttempts: 5, Base: 5 * time.Millisecond},
+		RoundTripTimeout: 500 * time.Millisecond,
+		Seed:             11,
+	})
+	defer rc.Close()
+
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if _, _, err := rc.FetchPrior(3); err == nil {
+			ok++
+		} else if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("breaker misconfigured for this test: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Errorf("no fetch succeeded over the flaky throttled link; stats %+v", rc.TransportStats())
+	}
+}
+
+// TestFaultyConnDeterministic: two connections wrapped from configs
+// with the same seed draw identical fault verdicts for the same traffic.
+func TestFaultyConnDeterministic(t *testing.T) {
+	mk := func() *FaultyConn {
+		cfg := &FaultConfig{Seed: 77, DropWrite: 0.5, Reset: 0.1}
+		a, _ := net.Pipe()
+		return cfg.Wrap(a).(*FaultyConn)
+	}
+	c1, c2 := mk(), mk()
+	for i := 0; i < 100; i++ {
+		v1 := c1.decide(true)
+		v2 := c2.decide(true)
+		if v1 != v2 {
+			t.Fatalf("schedules diverge at op %d: %+v vs %+v", i, v1, v2)
+		}
+	}
+}
+
+// TestFaultyConnFailAfterOps pins the deterministic hard-failure
+// schedule: exactly FailAfterOps operations succeed.
+func TestFaultyConnFailAfterOps(t *testing.T) {
+	cfg := &FaultConfig{FailAfterOps: 3}
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := cfg.Wrap(a)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := fc.Write([]byte("ok")); err != nil {
+			t.Fatalf("op %d failed early: %v", i, err)
+		}
+	}
+	if _, err := fc.Write([]byte("boom")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("op 4 = %v, want injected reset", err)
+	}
+}

@@ -60,12 +60,13 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return &resp, nil
 }
 
-// FetchPrior downloads the current prior for the given parameter
-// dimensionality (pass 0 to skip the dimension check) and validates it.
-func (c *Client) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
-	resp, err := c.roundTrip(&Request{Kind: GetPrior, Dim: dim})
-	if err != nil {
-		return nil, 0, err
+// priorOf interprets a GetPrior response: validates the payload and,
+// when conditional fetch is in play, passes NotModified through as a nil
+// prior with the unchanged version. Shared by Client and ResilientClient
+// so both enforce the same invariants on what comes off the wire.
+func priorOf(resp *Response, conditional bool) (*dpprior.Prior, uint64, error) {
+	if conditional && resp.NotModified {
+		return nil, resp.Version, nil
 	}
 	if resp.Prior == nil {
 		return nil, 0, fmt.Errorf("edge: server returned empty prior")
@@ -74,6 +75,16 @@ func (c *Client) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
 		return nil, 0, fmt.Errorf("edge: received invalid prior: %w", err)
 	}
 	return resp.Prior, resp.Version, nil
+}
+
+// FetchPrior downloads the current prior for the given parameter
+// dimensionality (pass 0 to skip the dimension check) and validates it.
+func (c *Client) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: GetPrior, Dim: dim})
+	if err != nil {
+		return nil, 0, err
+	}
+	return priorOf(resp, false)
 }
 
 // FetchPriorIfNewer is the conditional fetch: when the cloud's prior
@@ -85,16 +96,7 @@ func (c *Client) FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior
 	if err != nil {
 		return nil, 0, err
 	}
-	if resp.NotModified {
-		return nil, resp.Version, nil
-	}
-	if resp.Prior == nil {
-		return nil, 0, fmt.Errorf("edge: server returned empty prior")
-	}
-	if err := resp.Prior.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("edge: received invalid prior: %w", err)
-	}
-	return resp.Prior, resp.Version, nil
+	return priorOf(resp, true)
 }
 
 // ReportTask uploads a solved task posterior; the cloud folds it into

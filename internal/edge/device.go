@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/drdp/drdp/internal/core"
@@ -9,6 +10,65 @@ import (
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/model"
 )
+
+// Cloud is the client-side surface a Device drives the knowledge-transfer
+// loop through. Both *Client (one connection, fails on the first I/O
+// error) and *ResilientClient (redial + retry + breaker) satisfy it.
+type Cloud interface {
+	FetchPrior(dim int) (*dpprior.Prior, uint64, error)
+	FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior, uint64, error)
+	ReportTask(t dpprior.TaskPosterior) (uint64, error)
+}
+
+// Degradation reports which prior a device round actually trained with.
+// Ordered: higher is worse.
+type Degradation int
+
+// Degradation levels.
+const (
+	// DegradedNone: a current prior straight from (or confirmed by) the
+	// cloud.
+	DegradedNone Degradation = iota
+	// DegradedCached: the cloud was unreachable; training used the last
+	// good cached prior, possibly stale.
+	DegradedCached
+	// DegradedLocal: no prior at all — the cloud is cold (cold start) or
+	// unreachable with a cold cache; training was local-only DRO.
+	DegradedLocal
+)
+
+// String names the degradation level.
+func (d Degradation) String() string {
+	switch d {
+	case DegradedNone:
+		return "fresh-prior"
+	case DegradedCached:
+		return "cached-prior"
+	case DegradedLocal:
+		return "local-only"
+	default:
+		return fmt.Sprintf("Degradation(%d)", int(d))
+	}
+}
+
+// RunStatus reports what a device round actually did — the degradation
+// level and the transport errors that forced it, so a flaky uplink shows
+// up in results instead of silently eroding accuracy.
+type RunStatus struct {
+	// Degradation is the prior level training actually ran at.
+	Degradation Degradation
+	// PriorVersion is the version of the prior used (0 when local-only).
+	PriorVersion uint64
+	// ColdStart is set when the cloud answered but legitimately has no
+	// prior yet — a normal condition, not a fault.
+	ColdStart bool
+	// FetchErr is the transport error that forced degradation (nil when
+	// the fetch succeeded or the cloud was merely cold).
+	FetchErr error
+	// ReportErr is a non-fatal upload failure: training succeeded but the
+	// solved task could not be reported back.
+	ReportErr error
+}
 
 // Device bundles an edge device's learning configuration and drives the
 // full knowledge-transfer loop against a cloud client: fetch prior →
@@ -24,6 +84,14 @@ type Device struct {
 	Tau float64
 	// EMIters bounds the EM loop (0 = learner default).
 	EMIters int
+	// Cache, when non-nil, stores the last good prior: fetches become
+	// conditional (version handshake), and a transport failure falls back
+	// to the cached prior instead of failing the round.
+	Cache *PriorCache
+	// FallbackLocal lets a round proceed prior-free when the cloud is
+	// unreachable AND the cache is cold, and downgrades report-upload
+	// failures to RunStatus.ReportErr. Without it those are hard errors.
+	FallbackLocal bool
 }
 
 // TrainWithPrior runs DRDP locally with the given (wire-format) prior.
@@ -54,31 +122,110 @@ func (d *Device) TrainWithPrior(prior *dpprior.Prior, x *mat.Dense, y []float64)
 	return res, nil
 }
 
-// Run executes the full loop through a live client: fetch the prior
-// (tolerating an empty cloud), train, and when report is set, upload the
-// Laplace posterior of the solved task. It returns the training result.
-func (d *Device) Run(c *Client, x *mat.Dense, y []float64, report bool) (*core.Result, error) {
-	prior, _, err := c.FetchPrior(d.Model.NumParams())
+// fetch obtains the prior to train with, degrading gracefully: fresh
+// from the cloud → last good cached → nil (local-only), per the device's
+// cache/fallback configuration.
+func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
+	var st RunStatus
+	dim := d.Model.NumParams()
+
+	var prior *dpprior.Prior
+	var version uint64
+	var err error
+	if known := d.Cache.Version(); known > 0 {
+		prior, version, err = c.FetchPriorIfNewer(dim, known)
+		if err == nil && prior == nil {
+			// NotModified: the cached copy IS the current prior.
+			cached, _, _ := d.Cache.Get()
+			st.PriorVersion = known
+			return cached, st, nil
+		}
+	} else {
+		prior, version, err = c.FetchPrior(dim)
+	}
+
+	switch {
+	case err == nil:
+		st.PriorVersion = version
+		if d.Cache != nil {
+			// A broken cache must not fail a healthy round; the next
+			// outage just won't have this prior to fall back on.
+			_ = d.Cache.Put(prior, version)
+		}
+		return prior, st, nil
+
+	case errors.Is(err, ErrNoPrior):
+		// Legitimate cold start: the cloud answered and has nothing yet.
+		st.Degradation = DegradedLocal
+		st.ColdStart = true
+		return nil, st, nil
+
+	default:
+		var se *ServerError
+		if errors.As(err, &se) {
+			// Application rejection (dim mismatch etc.): degrading can't
+			// fix a request the server refuses — surface it.
+			return nil, st, err
+		}
+		// Transport fault: fall back to the cached prior, then local-only.
+		if cached, cv, ok := d.Cache.Get(); ok {
+			st.Degradation = DegradedCached
+			st.PriorVersion = cv
+			st.FetchErr = err
+			return cached, st, nil
+		}
+		if d.FallbackLocal {
+			st.Degradation = DegradedLocal
+			st.FetchErr = err
+			return nil, st, nil
+		}
+		return nil, st, fmt.Errorf("edge: device %d: fetch prior: %w", d.ID, err)
+	}
+}
+
+// RunWithStatus executes the full loop — fetch (with graceful
+// degradation), train, optionally report — and tells the caller which
+// prior level the round actually ran at. The returned error is non-nil
+// only when the round could not produce a model at all.
+func (d *Device) RunWithStatus(c Cloud, x *mat.Dense, y []float64, report bool) (*core.Result, RunStatus, error) {
+	prior, st, err := d.fetch(c)
 	if err != nil {
-		// An empty cloud is a normal cold-start: train locally.
-		prior = nil
+		return nil, st, err
 	}
 	res, err := d.TrainWithPrior(prior, x, y)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if report {
 		cov, err := model.LaplacePosterior(d.Model, res.Params, x, y, 1e-3)
 		if err != nil {
-			return nil, fmt.Errorf("edge: device %d: laplace: %w", d.ID, err)
+			return nil, st, fmt.Errorf("edge: device %d: laplace: %w", d.ID, err)
 		}
-		if _, err := c.ReportTask(dpprior.TaskPosterior{
+		_, err = c.ReportTask(dpprior.TaskPosterior{
 			Mu:    res.Params,
 			Sigma: cov,
 			N:     x.Rows,
-		}); err != nil {
-			return nil, fmt.Errorf("edge: device %d: report: %w", d.ID, err)
+		})
+		if err != nil {
+			if !d.FallbackLocal {
+				return nil, st, fmt.Errorf("edge: device %d: report: %w", d.ID, err)
+			}
+			// The model is good; only the upload failed. Degrade, don't die.
+			st.ReportErr = err
 		}
 	}
-	return res, nil
+	return res, st, nil
+}
+
+// Run executes the full loop through a live client: fetch the prior
+// (tolerating an empty cloud), train, and when report is set, upload the
+// Laplace posterior of the solved task. It returns the training result.
+//
+// A cold cloud (no tasks yet) trains locally, as before. Transport and
+// validation errors are no longer swallowed: they fail the round unless
+// the device is configured to degrade (Cache and/or FallbackLocal) —
+// use RunWithStatus to observe the degradation level.
+func (d *Device) Run(c Cloud, x *mat.Dense, y []float64, report bool) (*core.Result, error) {
+	res, _, err := d.RunWithStatus(c, x, y, report)
+	return res, err
 }

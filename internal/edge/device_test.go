@@ -1,0 +1,194 @@
+package edge
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/data"
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/model"
+)
+
+// testDevice returns a small device plus matching train data.
+func testDevice(t *testing.T, rng *rand.Rand) (*Device, *data.Dataset) {
+	t.Helper()
+	task := data.LinearTask{W: []float64{2, -1}, Flip: 0.05}
+	dev := &Device{
+		ID:    1,
+		Model: model.Logistic{Dim: 2},
+		Set:   dro.Set{Kind: dro.Wasserstein, Rho: 0.05},
+	}
+	return dev, task.Sample(rng, 40)
+}
+
+// deadAddr reserves then releases a port: dials to it fail fast.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func fastResilient(addr string) *ResilientClient {
+	rc := DialResilient(addr, ResilientOptions{
+		Retry:            RetryPolicy{MaxAttempts: 2, Base: time.Millisecond},
+		DialTimeout:      200 * time.Millisecond,
+		RoundTripTimeout: time.Second,
+		Seed:             1,
+	})
+	rc.sleep = func(time.Duration) {}
+	return rc
+}
+
+// TestDeviceColdStartStatus: an empty cloud is a clean local-only round,
+// flagged as a cold start, with no fetch error.
+func TestDeviceColdStartStatus(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	addr, _ := startServer(t, nil)
+	dev, train := testDevice(t, rng)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, st, err := dev.RunWithStatus(c, train.X, train.Y, false)
+	if err != nil || res == nil {
+		t.Fatalf("cold-start round failed: %v", err)
+	}
+	if st.Degradation != DegradedLocal || !st.ColdStart || st.FetchErr != nil {
+		t.Errorf("cold-start status %+v", st)
+	}
+}
+
+// TestDeviceTransportErrorSurfaced: without cache or fallback, a dead
+// cloud fails the round instead of silently training prior-free —
+// the old swallow-everything behavior is gone.
+func TestDeviceTransportErrorSurfaced(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	dev, train := testDevice(t, rng)
+	rc := fastResilient(deadAddr(t))
+	defer rc.Close()
+
+	res, st, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+	if err == nil {
+		t.Fatal("dead cloud produced a result with no cache and no fallback")
+	}
+	if res != nil || st.Degradation != DegradedNone {
+		t.Errorf("unexpected result/status: %v %+v", res, st)
+	}
+}
+
+// TestDeviceFallbackLocal: with FallbackLocal the round completes
+// prior-free and reports both the degradation and the cause.
+func TestDeviceFallbackLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	dev, train := testDevice(t, rng)
+	dev.FallbackLocal = true
+	rc := fastResilient(deadAddr(t))
+	defer rc.Close()
+
+	res, st, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+	if err != nil || res == nil {
+		t.Fatalf("fallback round failed: %v", err)
+	}
+	if st.Degradation != DegradedLocal || st.ColdStart || st.FetchErr == nil {
+		t.Errorf("fallback status %+v", st)
+	}
+}
+
+// TestDeviceCacheFallback: a healthy fetch warms the cache; when the
+// cloud then dies, the next round runs on the cached prior at
+// DegradedCached with the cached version.
+func TestDeviceCacheFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	addr, srv := startServer(t, seedTasks(rng, 4, 3)) // dim 3: logistic w + bias
+	dev, train := testDevice(t, rng)
+	cache, err := NewPriorCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Cache = cache
+
+	rc := fastResilient(addr)
+	defer rc.Close()
+
+	// Round 1: healthy. Fresh prior, cache warmed.
+	_, st, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degradation != DegradedNone || st.PriorVersion == 0 {
+		t.Fatalf("healthy round status %+v", st)
+	}
+	if cache.Version() != st.PriorVersion {
+		t.Fatalf("cache not warmed: %d vs %d", cache.Version(), st.PriorVersion)
+	}
+
+	// Round 2: still healthy — the conditional fetch hits NotModified and
+	// the round still counts as fresh.
+	_, st2, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Degradation != DegradedNone || st2.PriorVersion != st.PriorVersion {
+		t.Fatalf("not-modified round status %+v", st2)
+	}
+
+	// Cloud dies. Round 3 must degrade to the cached prior, not fail.
+	srv.Close()
+	res, st3, err := dev.RunWithStatus(rc, train.X, train.Y, false)
+	if err != nil || res == nil {
+		t.Fatalf("cached-fallback round failed: %v", err)
+	}
+	if st3.Degradation != DegradedCached || st3.FetchErr == nil {
+		t.Errorf("cached-fallback status %+v", st3)
+	}
+	if st3.PriorVersion != st.PriorVersion {
+		t.Errorf("cached version %d, want %d", st3.PriorVersion, st.PriorVersion)
+	}
+}
+
+// TestDeviceReportFailureDegrades: when the upload fails mid-round under
+// FallbackLocal, the model is still returned with ReportErr set.
+func TestDeviceReportFailureDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	addr, srv := startServer(t, seedTasks(rng, 4, 3))
+	dev, train := testDevice(t, rng)
+	dev.FallbackLocal = true
+
+	// Plain client (no retries): close the server after the fetch so the
+	// report hits a dead connection.
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reporter := &flakyReporter{Cloud: c, srv: srv}
+	res, st, err := dev.RunWithStatus(reporter, train.X, train.Y, true)
+	if err != nil || res == nil {
+		t.Fatalf("round failed outright: %v", err)
+	}
+	if st.ReportErr == nil {
+		t.Error("report failure not surfaced in status")
+	}
+}
+
+// flakyReporter passes fetches through but kills the server before the
+// report, so ReportTask hits a closed connection.
+type flakyReporter struct {
+	Cloud
+	srv *CloudServer
+}
+
+func (f *flakyReporter) ReportTask(task dpprior.TaskPosterior) (uint64, error) {
+	f.srv.Close()
+	return f.Cloud.ReportTask(task)
+}

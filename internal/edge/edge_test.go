@@ -234,7 +234,7 @@ func TestServerAddTaskErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.AddTask(dpprior.TaskPosterior{Mu: mat.Vec{1}, Sigma: mat.NewDense(2, 2)}); err == nil {
+	if _, err := srv.AddTask(dpprior.TaskPosterior{Mu: mat.Vec{1}, Sigma: mat.NewDense(2, 2)}); err == nil {
 		t.Error("shape mismatch accepted")
 	}
 	if _, err := NewCloudServer(nil, dpprior.BuildOptions{}, nil); err == nil {
@@ -255,6 +255,21 @@ func TestLinkProfiles(t *testing.T) {
 	if got := Link3G.TransferTime(0); got != Link3G.Latency {
 		t.Errorf("zero payload time %v", got)
 	}
+}
+
+func TestThrottledConnZeroBandwidthPanics(t *testing.T) {
+	// A zero-bandwidth profile must fail loudly, not sleep(+Inf).
+	bad := LinkProfile{Name: "dead"}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := bad.Throttle(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-bandwidth Write did not panic")
+		}
+	}()
+	conn.Write([]byte("x"))
 }
 
 func TestThrottledConnDelays(t *testing.T) {

@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
@@ -132,7 +133,7 @@ func TestServeTwiceRejected(t *testing.T) {
 }
 
 func isClosedErr(err error) bool {
-	return err != nil
+	return errors.Is(err, net.ErrClosed)
 }
 
 // TestRoundTripTimeout verifies the per-round-trip deadline fires against

@@ -38,7 +38,8 @@ func (p LinkProfile) TransferTime(bytes int) time.Duration {
 
 // Throttle wraps conn so each Write pays the profile's serialization
 // delay and the first Write additionally pays the one-way latency. Reads
-// are left untouched (the peer's writes already paid).
+// are left untouched (the peer's writes already paid). Composable with
+// FaultConfig.Wrap for links that are both slow and lossy.
 func (p LinkProfile) Throttle(conn net.Conn) net.Conn {
 	return &throttledConn{Conn: conn, profile: p}
 }
@@ -50,6 +51,11 @@ type throttledConn struct {
 }
 
 func (t *throttledConn) Write(b []byte) (int, error) {
+	if t.profile.Bandwidth <= 0 {
+		// Same guard as TransferTime: without it a zero-bandwidth profile
+		// yields +Inf delay and a time.Sleep that never returns.
+		panic(fmt.Sprintf("edge: LinkProfile %q has non-positive bandwidth", t.profile.Name))
+	}
 	delay := time.Duration(float64(len(b)) / t.profile.Bandwidth * float64(time.Second))
 	if !t.started {
 		delay += t.profile.Latency

@@ -10,9 +10,37 @@
 //
 //	GetPrior:   edge  → cloud   "give me the current prior for dim d"
 //	ReportTask: edge  → cloud   "here is my solved task's posterior"
+//
+// # Failure model
+//
+// Because gob encoder/decoder state is per-connection, any I/O error
+// bricks a Client: the resilient layer treats every transport fault as
+// fatal to the session and recovers by redialing. The layers compose:
+//
+//   - ResilientClient retries transport faults (dial errors, broken or
+//     timed-out streams) under a RetryPolicy with exponential backoff and
+//     seeded jitter, redialing on every retry, and fails fast through a
+//     circuit breaker once consecutive failures cross BreakerConfig.
+//     Threshold. Application rejections (*ServerError, e.g. a dimension
+//     mismatch) are never retried — the server answered; asking again
+//     cannot help. A cold cloud (no prior yet) surfaces as ErrNoPrior.
+//   - Device degrades instead of failing when a PriorCache and/or
+//     FallbackLocal are configured: fresh prior → cached prior →
+//     local-only training, in that order. The degradation level and the
+//     underlying fetch/report errors are reported truthfully in
+//     RunStatus, never swallowed.
+//   - CloudServer survives misbehaving peers: per-connection panic
+//     recovery, a per-frame decode size limit (MaxFrameBytes), and idle
+//     read deadlines (IdleTimeout) that reclaim silent connections.
+//
+// FaultConfig provides a deterministic fault-injection net.Conn wrapper
+// (drops, resets, partial writes, corruption, delays) for driving the
+// whole stack through hostile-network chaos tests; it composes with
+// LinkProfile.Throttle.
 package edge
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/drdp/drdp/internal/dpprior"
@@ -59,10 +87,31 @@ type Request struct {
 	Task *dpprior.TaskPosterior
 }
 
+// RespCode classifies server-side failures so clients can tell a
+// legitimate condition (cold cloud) from a real rejection without
+// string-matching across the wire.
+type RespCode int
+
+// Response codes.
+const (
+	// CodeOK is the zero value: no error.
+	CodeOK RespCode = iota
+	// CodeNoTasks means the cloud has no prior yet — a normal cold start,
+	// not a fault; devices should train locally and try again later.
+	CodeNoTasks
+	// CodeBadRequest covers validation rejections (dim mismatch,
+	// malformed task). Retrying the identical request cannot succeed.
+	CodeBadRequest
+	// CodeInternal covers unexpected server-side failures.
+	CodeInternal
+)
+
 // Response is the server→client message. Err is non-empty on failure
-// (gob cannot carry error values faithfully across processes).
+// (gob cannot carry error values faithfully across processes); Code
+// classifies it.
 type Response struct {
 	Err     string
+	Code    RespCode
 	Prior   *dpprior.Prior
 	Stats   Stats
 	Version uint64 // prior version at the time of the response
@@ -79,10 +128,31 @@ type Stats struct {
 	WireBytes    int    // approximate serialized prior size
 }
 
+// ErrNoPrior reports that the cloud legitimately has no prior yet (no
+// tasks reported). It is a normal cold-start condition, not a transport
+// fault: devices train locally and retry on a later round. Test with
+// errors.Is.
+var ErrNoPrior = errors.New("edge: cloud has no prior yet")
+
+// ServerError is an application-level rejection that crossed the wire
+// intact: the transport worked, the server said no. ResilientClient does
+// not retry these — resending the identical request cannot succeed.
+type ServerError struct {
+	Code RespCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("edge: server: %s", e.Msg) }
+
+// Is lets errors.Is(err, ErrNoPrior) recognize a cold-start rejection.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrNoPrior && e.Code == CodeNoTasks
+}
+
 // errOf converts a Response error string back into an error.
 func errOf(resp *Response) error {
 	if resp.Err == "" {
 		return nil
 	}
-	return fmt.Errorf("edge: server: %s", resp.Err)
+	return &ServerError{Code: resp.Code, Msg: resp.Err}
 }

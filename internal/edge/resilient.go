@@ -1,0 +1,231 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// ResilientOptions configures a ResilientClient.
+type ResilientOptions struct {
+	// Retry paces and bounds re-attempts of failed round trips.
+	// The zero value means a single attempt; see DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Breaker trips fail-fast behavior after consecutive transport
+	// failures. The zero value disables it; see DefaultBreakerConfig.
+	Breaker BreakerConfig
+	// DialTimeout bounds each (re)dial (0 = no bound).
+	DialTimeout time.Duration
+	// RoundTripTimeout bounds each request/response exchange
+	// (0 = no bound). Strongly recommended over lossy links: a dropped
+	// reply otherwise hangs the round trip forever.
+	RoundTripTimeout time.Duration
+	// Seed drives the backoff jitter; the same seed yields the same
+	// retry schedule. 0 seeds from the clock.
+	Seed int64
+	// Logger receives retry/redial notices; nil discards them.
+	Logger *log.Logger
+}
+
+// TransportStats counts what the resilience machinery actually did —
+// exposed so experiments and operators can see the cost of a lossy link.
+type TransportStats struct {
+	Dials    int // connection (re)establishments attempted
+	Retries  int // round trips re-attempted after a transport failure
+	Failures int // transport failures observed (dial + round trip)
+	Breaker  BreakerState
+}
+
+// ResilientClient is a self-healing cloud connection. Where Client
+// bricks on the first I/O error (gob encoder/decoder state is
+// per-connection), ResilientClient redials broken streams, retries
+// failed round trips with exponential backoff and seeded jitter, and
+// fails fast through a circuit breaker once the cloud looks down.
+//
+// Application-level rejections (*ServerError: dim mismatch, cold cloud,
+// malformed task) are returned immediately — the transport worked, so
+// resending the identical request cannot help. Only transport faults
+// (dial errors, timeouts, resets, corrupt streams) are retried.
+//
+// Like Client, a ResilientClient is not safe for concurrent use; give
+// each goroutine its own.
+type ResilientClient struct {
+	dial   func() (net.Conn, error)
+	opts   ResilientOptions
+	rng    *rand.Rand
+	br     *breaker
+	logger *log.Logger
+
+	// sleep is injectable so tests can run the retry schedule against a
+	// fake clock.
+	sleep func(time.Duration)
+
+	c     *Client // current session; nil when disconnected
+	stats TransportStats
+}
+
+// DialResilient returns a resilient client for the cloud at addr.
+// Dialing is lazy: no connection is made until the first round trip, so
+// a cloud that is down at construction time only degrades, never blocks,
+// the device.
+func DialResilient(addr string, opts ResilientOptions) *ResilientClient {
+	return NewResilientClient(func() (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("edge: dial %s: %w", addr, err)
+		}
+		return conn, nil
+	}, opts)
+}
+
+// NewResilientClient wraps an arbitrary dial function — compose with
+// LinkProfile.Throttle or FaultConfig.Wrap for simulated links:
+//
+//	dial := func() (net.Conn, error) { c, err := net.Dial("tcp", addr); ... return profile.Throttle(faults.Wrap(c)), nil }
+func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) *ResilientClient {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &ResilientClient{
+		dial:   dial,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		br:     newBreaker(opts.Breaker, nil),
+		logger: logger,
+		sleep:  time.Sleep,
+	}
+}
+
+// Close tears down the current connection, if any. The client remains
+// usable: the next round trip redials.
+func (r *ResilientClient) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// TransportStats reports transport-level counters accumulated so far.
+func (r *ResilientClient) TransportStats() TransportStats {
+	st := r.stats
+	st.Breaker = r.br.State()
+	return st
+}
+
+// connect ensures a live session, dialing if necessary.
+func (r *ResilientClient) connect() error {
+	if r.c != nil {
+		return nil
+	}
+	r.stats.Dials++
+	conn, err := r.dial()
+	if err != nil {
+		return err
+	}
+	c := NewClient(conn)
+	c.SetRoundTripTimeout(r.opts.RoundTripTimeout)
+	r.c = c
+	return nil
+}
+
+// do runs one request through the retry/redial/breaker machinery.
+func (r *ResilientClient) do(req *Request) (*Response, error) {
+	attempts := r.opts.Retry.attempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.stats.Retries++
+			r.sleep(r.opts.Retry.Delay(attempt-1, r.rng))
+		}
+		if err := r.br.allow(); err != nil {
+			// Fail fast: the breaker is open, don't burn the retry budget
+			// (or the device's time) dialing a cloud that is down.
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		if err := r.connect(); err != nil {
+			r.stats.Failures++
+			r.br.onFailure()
+			lastErr = err
+			r.logger.Printf("edge: resilient: dial failed (attempt %d/%d): %v", attempt+1, attempts, err)
+			continue
+		}
+		resp, err := r.c.roundTrip(req)
+		if err == nil {
+			r.br.onSuccess()
+			return resp, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			// The transport round-tripped fine; the server rejected the
+			// request. Not retriable, and not a breaker failure.
+			r.br.onSuccess()
+			return nil, err
+		}
+		// Transport fault: the gob stream is now in an unknown state, so
+		// the session is unusable — drop it and redial on the next try.
+		r.c.Close()
+		r.c = nil
+		r.stats.Failures++
+		r.br.onFailure()
+		lastErr = err
+		r.logger.Printf("edge: resilient: %s failed (attempt %d/%d): %v", req.Kind, attempt+1, attempts, err)
+	}
+	return nil, fmt.Errorf("edge: resilient: %s failed after %d attempts: %w", req.Kind, attempts, lastErr)
+}
+
+// FetchPrior downloads and validates the current prior, retrying
+// transport faults. See Client.FetchPrior.
+func (r *ResilientClient) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
+	resp, err := r.do(&Request{Kind: GetPrior, Dim: dim})
+	if err != nil {
+		return nil, 0, err
+	}
+	return priorOf(resp, false)
+}
+
+// FetchPriorIfNewer is the conditional fetch. See Client.FetchPriorIfNewer.
+func (r *ResilientClient) FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior, uint64, error) {
+	resp, err := r.do(&Request{Kind: GetPrior, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return priorOf(resp, true)
+}
+
+// ReportTask uploads a solved task posterior, retrying transport faults.
+// Retries are safe: AddTask is idempotent per upload only in effect —
+// a duplicate upload after an ambiguous failure adds a duplicate task,
+// which biases but never corrupts the DP prior (stick-breaking
+// renormalizes); we accept that over losing reports on lossy links.
+func (r *ResilientClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
+	resp, err := r.do(&Request{Kind: ReportTask, Task: &t})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Stats fetches cloud-side counters, retrying transport faults.
+func (r *ResilientClient) Stats() (Stats, error) {
+	resp, err := r.do(&Request{Kind: GetStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	return resp.Stats, nil
+}

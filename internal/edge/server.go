@@ -8,8 +8,19 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
+)
+
+// Server-hardening defaults.
+const (
+	// DefaultMaxFrameBytes bounds one decoded request frame; a hostile
+	// or corrupt length prefix cannot balloon server memory past it.
+	DefaultMaxFrameBytes = 16 << 20
+	// DefaultIdleTimeout is how long a connection may sit idle between
+	// requests before the server reclaims its handler goroutine.
+	DefaultIdleTimeout = 2 * time.Minute
 )
 
 // CloudServer accumulates task posteriors and serves the DP prior built
@@ -19,16 +30,28 @@ type CloudServer struct {
 	opts   dpprior.BuildOptions
 	logger *log.Logger
 
+	// MaxFrameBytes caps the size of one request frame (default
+	// DefaultMaxFrameBytes; set before Serve, negative = unlimited).
+	MaxFrameBytes int64
+	// IdleTimeout bounds the gap between requests on a connection
+	// (default DefaultIdleTimeout; set before Serve, negative = none).
+	IdleTimeout time.Duration
+
 	mu      sync.Mutex
 	tasks   []dpprior.TaskPosterior
 	prior   *dpprior.Prior
 	version uint64 // bumped on every task-set change
 	built   uint64 // version the cached prior corresponds to
 
-	lnMu  sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed bool // set by Close; Serve must not register conns after this
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	// panicHook, when set, runs before dispatch — test seam for the
+	// per-connection panic recovery.
+	panicHook func(*Request)
 }
 
 // NewCloudServer creates a server with the given prior-construction
@@ -40,7 +63,12 @@ func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, log
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	s := &CloudServer{opts: opts, logger: logger}
+	s := &CloudServer{
+		opts:          opts,
+		logger:        logger,
+		MaxFrameBytes: DefaultMaxFrameBytes,
+		IdleTimeout:   DefaultIdleTimeout,
+	}
 	s.tasks = append(s.tasks, seed...)
 	if len(s.tasks) > 0 {
 		s.version = 1
@@ -48,24 +76,26 @@ func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, log
 	return s, nil
 }
 
-// AddTask incorporates one task posterior (also callable in-process).
-func (s *CloudServer) AddTask(t dpprior.TaskPosterior) error {
+// AddTask incorporates one task posterior (also callable in-process) and
+// returns the new prior version, so RPC handlers don't have to re-lock
+// (or worse, force a prior rebuild) just to report it.
+func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
 	if len(t.Mu) == 0 || t.Sigma == nil {
-		return errors.New("edge: AddTask: incomplete task posterior")
+		return 0, errors.New("edge: AddTask: incomplete task posterior")
 	}
 	if t.Sigma.Rows != len(t.Mu) || t.Sigma.Cols != len(t.Mu) {
-		return fmt.Errorf("edge: AddTask: covariance %dx%d for dim %d",
+		return 0, fmt.Errorf("edge: AddTask: covariance %dx%d for dim %d",
 			t.Sigma.Rows, t.Sigma.Cols, len(t.Mu))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.tasks) > 0 && len(s.tasks[0].Mu) != len(t.Mu) {
-		return fmt.Errorf("edge: AddTask: dim %d does not match existing tasks (dim %d)",
+		return 0, fmt.Errorf("edge: AddTask: dim %d does not match existing tasks (dim %d)",
 			len(t.Mu), len(s.tasks[0].Mu))
 	}
 	s.tasks = append(s.tasks, t)
 	s.version++
-	return nil
+	return s.version, nil
 }
 
 // Prior returns the current prior (rebuilding if the task set changed)
@@ -76,9 +106,13 @@ func (s *CloudServer) Prior() (*dpprior.Prior, uint64, error) {
 	return s.priorLocked()
 }
 
+// errNoTasks marks the cold-start condition; dispatch maps it to
+// CodeNoTasks so clients see ErrNoPrior instead of an opaque string.
+var errNoTasks = errors.New("edge: no tasks reported yet")
+
 func (s *CloudServer) priorLocked() (*dpprior.Prior, uint64, error) {
 	if len(s.tasks) == 0 {
-		return nil, 0, errors.New("edge: no tasks reported yet")
+		return nil, 0, errNoTasks
 	}
 	if s.prior == nil || s.built != s.version {
 		p, err := dpprior.Build(s.tasks, s.opts)
@@ -111,6 +145,11 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 		s.lnMu.Unlock()
 		return errors.New("edge: Serve: already serving")
 	}
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return errors.New("edge: Serve: server already closed")
+	}
 	s.ln = ln
 	s.lnMu.Unlock()
 
@@ -125,6 +164,13 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 			return fmt.Errorf("edge: accept: %w", err)
 		}
 		s.lnMu.Lock()
+		if s.closed {
+			// Close already swept s.conns; a connection registered now
+			// would never be closed. Drop it instead.
+			s.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
 		if s.conns == nil {
 			s.conns = make(map[net.Conn]struct{})
 		}
@@ -161,6 +207,7 @@ func (s *CloudServer) ListenAndServe(addr string, addrCh chan<- string) error {
 // connection error on their next round trip), and waits for handlers.
 func (s *CloudServer) Close() error {
 	s.lnMu.Lock()
+	s.closed = true
 	ln := s.ln
 	for conn := range s.conns {
 		conn.Close()
@@ -174,17 +221,63 @@ func (s *CloudServer) Close() error {
 	return err
 }
 
+// limitedConnReader enforces a per-frame byte budget on the decode side:
+// handle resets the budget after every successfully decoded request, so
+// legitimate traffic is unaffected while a hostile or corrupt length
+// prefix cannot make gob slurp unbounded memory.
+type limitedConnReader struct {
+	r         io.Reader
+	remaining int64
+	max       int64
+}
+
+var errFrameTooLarge = errors.New("edge: request frame exceeds size limit")
+
+func (l *limitedConnReader) Read(p []byte) (int, error) {
+	if l.max <= 0 {
+		return l.r.Read(p)
+	}
+	if l.remaining <= 0 {
+		return 0, errFrameTooLarge
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+func (l *limitedConnReader) reset() { l.remaining = l.max }
+
 func (s *CloudServer) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	// A panicking handler must cost one connection, not the fleet's cloud.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logger.Printf("edge: panic handling %s: %v", conn.RemoteAddr(), r)
+		}
+	}()
+	lim := &limitedConnReader{r: conn, max: s.MaxFrameBytes}
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.reset()
+		if s.IdleTimeout > 0 {
+			// A peer that goes silent must not pin this goroutine forever.
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.logger.Printf("edge: decode request from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
+		}
+		if s.panicHook != nil {
+			s.panicHook(&req)
 		}
 		resp := s.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
@@ -199,10 +292,17 @@ func (s *CloudServer) dispatch(req *Request) *Response {
 	case GetPrior:
 		p, version, err := s.Prior()
 		if err != nil {
-			return &Response{Err: err.Error()}
+			code := CodeInternal
+			if errors.Is(err, errNoTasks) {
+				code = CodeNoTasks
+			}
+			return &Response{Err: err.Error(), Code: code}
 		}
 		if req.Dim != 0 && req.Dim != p.Dim {
-			return &Response{Err: fmt.Sprintf("prior dim %d does not match requested %d", p.Dim, req.Dim)}
+			return &Response{
+				Err:  fmt.Sprintf("prior dim %d does not match requested %d", p.Dim, req.Dim),
+				Code: CodeBadRequest,
+			}
 		}
 		if req.KnownVersion != 0 && req.KnownVersion == version {
 			return &Response{Version: version, NotModified: true}
@@ -210,15 +310,16 @@ func (s *CloudServer) dispatch(req *Request) *Response {
 		return &Response{Prior: p, Version: version}
 	case ReportTask:
 		if req.Task == nil {
-			return &Response{Err: "report-task: missing task"}
+			return &Response{Err: "report-task: missing task", Code: CodeBadRequest}
 		}
-		if err := s.AddTask(*req.Task); err != nil {
-			return &Response{Err: err.Error()}
+		version, err := s.AddTask(*req.Task)
+		if err != nil {
+			return &Response{Err: err.Error(), Code: CodeBadRequest}
 		}
-		return &Response{Version: s.Stats().PriorVersion}
+		return &Response{Version: version}
 	case GetStats:
 		return &Response{Stats: s.Stats()}
 	default:
-		return &Response{Err: fmt.Sprintf("unknown request kind %d", int(req.Kind))}
+		return &Response{Err: fmt.Sprintf("unknown request kind %d", int(req.Kind)), Code: CodeBadRequest}
 	}
 }

@@ -175,6 +175,13 @@ func TestTable5And6Smoke(t *testing.T) {
 	if len(t11.Rows) != 2 { // fast mode: 2 regimes
 		t.Errorf("table11 rows %d, want 2", len(t11.Rows))
 	}
+	t12, err := Table12LossyLinks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t12.Rows) != 3 { // fast mode: 3 loss rates
+		t.Errorf("table12 rows %d, want 3", len(t12.Rows))
+	}
 	// Compression must strictly shrink the wire size.
 	if !(f10.Y[0][2] < f10.Y[0][1] && f10.Y[0][1] < f10.Y[0][0]) {
 		t.Errorf("wire sizes not decreasing: %v", f10.Y[0])

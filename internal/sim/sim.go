@@ -36,6 +36,12 @@ type DeviceSpec struct {
 	Samples  int  // local training samples
 	Report   bool // upload the solved task posterior
 	Cluster  int  // task-family cluster the device's task comes from
+	// LossRate is the probability that one transfer attempt (prior fetch
+	// or report upload) fails on this device's link. Failed attempts cost
+	// time (detection + backoff per Config.Retry); when every attempt
+	// fails the device degrades: it trains prior-free, and a lost report
+	// never reaches the cloud.
+	LossRate float64
 }
 
 // Config tunes a simulation run.
@@ -57,6 +63,11 @@ type Config struct {
 	TestSamples int
 	// Flip is the label noise on device tasks.
 	Flip float64
+	// Retry is the per-device transfer retry schedule used when a link
+	// has a LossRate (zero value = one attempt, no retries). Mirrors the
+	// live transport's ResilientClient policy so the simulator and the
+	// real stack degrade the same way.
+	Retry edge.RetryPolicy
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -81,10 +92,13 @@ type DeviceResult struct {
 	FetchedVersion  uint64 // 0 = cold cloud, trained without a prior
 	PriorComponents int
 	Accuracy        float64
-	DownlinkTime    time.Duration // prior transfer
+	DownlinkTime    time.Duration // prior transfer (including failed attempts)
 	TrainTime       time.Duration // simulated compute time
 	UplinkTime      time.Duration // report transfer (0 if not reporting)
 	TimeToModel     time.Duration // arrive → model ready
+	Retries         int           // failed transfer attempts that were retried
+	Degraded        bool          // fetch attempts exhausted: trained prior-free
+	ReportLost      bool          // upload attempts exhausted: cloud never saw the task
 }
 
 // Result aggregates the run.
@@ -94,6 +108,8 @@ type Result struct {
 	Rebuilds     int
 	BytesDown    int // total prior bytes shipped to devices
 	BytesUp      int // total posterior bytes reported
+	Degraded     int // devices that trained without a prior due to link loss
+	ReportsLost  int // reports that never reached the cloud
 }
 
 // event is one scheduled simulator transition.
@@ -154,6 +170,28 @@ func (c *cloudState) report(t dpprior.TaskPosterior, rebuildEvery int) error {
 	return nil
 }
 
+// transfer simulates one possibly-lossy transfer: each failed attempt
+// costs a detection delay (two one-way latencies — the timed-out
+// handshake) plus the policy's backoff, and ok reports whether any
+// attempt within the retry budget succeeded. Deterministic per rng.
+func transfer(rng *rand.Rand, loss float64, policy edge.RetryPolicy, link edge.LinkProfile) (retries int, waste time.Duration, ok bool) {
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if loss <= 0 || rng.Float64() >= loss {
+			return retries, waste, true
+		}
+		waste += 2 * link.Latency
+		if i < attempts-1 {
+			retries++
+			waste += policy.Delay(i, rng)
+		}
+	}
+	return retries, waste, false
+}
+
 // deviceState carries a device's in-flight data between events.
 type deviceState struct {
 	spec    DeviceSpec
@@ -199,6 +237,9 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 	}
 
 	cloud := &cloudState{alpha: cfg.Alpha, seed: cfg.Seed + 1}
+	// Link faults draw from their own stream so enabling loss does not
+	// perturb task sampling.
+	linkRng := rand.New(rand.NewSource(cfg.Seed + 2))
 	q := &eventQueue{}
 	seq := 0
 	push := func(at time.Duration, kind eventKind, dev int) {
@@ -215,16 +256,28 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 		d := devices[e.dev]
 		switch e.kind {
 		case evArrive:
+			// The lossy link may eat fetch attempts before (or instead of)
+			// the prior coming through.
+			retries, waste, ok := transfer(linkRng, d.spec.LossRate, cfg.Retry, d.spec.Link)
+			d.result.Retries += retries
 			// Snapshot the served prior NOW; downlink delay follows.
 			d.prior = cloud.served
 			d.version = cloud.version
 			var downlink time.Duration
-			if d.prior != nil {
+			if !ok {
+				// Every attempt lost: degrade to prior-free training, like
+				// a live Device with FallbackLocal and a cold cache.
+				d.prior = nil
+				d.version = 0
+				d.result.Degraded = true
+				out.Degraded++
+				downlink = waste
+			} else if d.prior != nil {
 				wire := d.prior.WireSize()
-				downlink = d.spec.Link.TransferTime(wire)
+				downlink = waste + d.spec.Link.TransferTime(wire)
 				out.BytesDown += wire
 			} else {
-				downlink = d.spec.Link.Latency // empty "no prior yet" reply
+				downlink = waste + d.spec.Link.Latency // empty "no prior yet" reply
 			}
 			d.result.DownlinkTime = downlink
 			d.result.FetchedVersion = d.version
@@ -257,8 +310,18 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 				return nil, fmt.Errorf("sim: device %d posterior: %w", d.spec.ID, err)
 			}
 			d.cov = cov
+			retries, waste, ok := transfer(linkRng, d.spec.LossRate, cfg.Retry, d.spec.Link)
+			d.result.Retries += retries
+			if !ok {
+				// The upload never made it: the device keeps its model but
+				// the fleet's prior misses this task.
+				d.result.ReportLost = true
+				out.ReportsLost++
+				d.result.UplinkTime = waste
+				break
+			}
 			wire := 8 * (len(d.fit.Params) + len(cov.Data) + 1)
-			d.result.UplinkTime = d.spec.Link.TransferTime(wire)
+			d.result.UplinkTime = waste + d.spec.Link.TransferTime(wire)
 			out.BytesUp += wire
 			push(e.at+d.result.UplinkTime, evReportArrived, e.dev)
 

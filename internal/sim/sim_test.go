@@ -170,3 +170,86 @@ func TestSimDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// lossyFleet marks every device's link with the given loss rate.
+func lossyFleet(pioneers, late int, link edge.LinkProfile, loss float64) []DeviceSpec {
+	specs := fleet(pioneers, late, link)
+	for i := range specs {
+		specs[i].LossRate = loss
+	}
+	return specs
+}
+
+func TestSimLossyLinkDegradesAndRetries(t *testing.T) {
+	cfg := simConfig(t, 216)
+	cfg.Retry = edge.RetryPolicy{MaxAttempts: 3, Base: 50 * time.Millisecond, Multiplier: 2}
+
+	// Total loss: every fetch exhausts its retries, every device trains
+	// prior-free, every report is lost.
+	res, err := Run(cfg, lossyFleet(2, 2, edge.Link3G, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 4 || res.ReportsLost != 2 {
+		t.Fatalf("total loss: degraded=%d reportsLost=%d", res.Degraded, res.ReportsLost)
+	}
+	if res.FinalVersion != 0 || res.BytesDown != 0 || res.BytesUp != 0 {
+		t.Errorf("traffic crossed a fully lossy link: %+v", res)
+	}
+	for _, d := range res.Devices {
+		if !d.Degraded || d.FetchedVersion != 0 {
+			t.Errorf("device %d not degraded under total loss: %+v", d.ID, d)
+		}
+		if d.Retries == 0 {
+			t.Errorf("device %d recorded no retries under total loss", d.ID)
+		}
+	}
+
+	// Moderate loss: the run completes, retries appear, and waste makes
+	// time-to-model no better than the lossless fleet's.
+	lossless, err := Run(simConfig(t, 216), fleet(2, 2, edge.Link3G))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Run(cfg, lossyFleet(2, 2, edge.Link3G, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries int
+	for _, d := range lossy.Devices {
+		retries += d.Retries
+	}
+	if retries == 0 {
+		t.Error("40% loss produced zero retries across the fleet")
+	}
+	var ttmLossless, ttmLossy time.Duration
+	for i := range lossless.Devices {
+		ttmLossless += lossless.Devices[i].TimeToModel
+		ttmLossy += lossy.Devices[i].TimeToModel
+	}
+	if ttmLossy < ttmLossless {
+		t.Errorf("lossy fleet was faster: %v < %v", ttmLossy, ttmLossless)
+	}
+}
+
+func TestSimLossyDeterministic(t *testing.T) {
+	mk := func() (*Result, error) {
+		cfg := simConfig(t, 217)
+		cfg.Retry = edge.RetryPolicy{MaxAttempts: 3, Base: 20 * time.Millisecond, Jitter: 0.3}
+		return Run(cfg, lossyFleet(2, 2, edge.Link4G, 0.3))
+	}
+	r1, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Devices {
+		a, b := r1.Devices[i], r2.Devices[i]
+		if a.Retries != b.Retries || a.Degraded != b.Degraded || a.TimeToModel != b.TimeToModel {
+			t.Fatalf("lossy run nondeterministic at device %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
