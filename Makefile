@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-json
 
 all: check
 
@@ -22,3 +22,9 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable evaluation: BENCH_<id>.json per experiment (fast
+# workload; drop -fast for the full one).
+BENCH_OUT ?= bench-out
+bench-json:
+	$(GO) run ./cmd/drdp-bench -fast -json $(BENCH_OUT) -csv $(BENCH_OUT)

@@ -7,18 +7,22 @@
 //	drdp-bench                     # run everything, print to stdout
 //	drdp-bench -only table1,fig3   # a subset
 //	drdp-bench -csv out/           # also write CSV files per experiment
+//	drdp-bench -json out/          # also write BENCH_<id>.json per experiment
 //	drdp-bench -reps 5 -seed 7     # more repetitions
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/drdp/drdp/internal/experiment"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // job names one experiment; exactly one of table/fig is set.
@@ -64,11 +68,12 @@ func main() {
 
 func run() error {
 	var (
-		only   = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
-		csvDir = flag.String("csv", "", "directory for CSV output (created if missing)")
-		reps   = flag.Int("reps", 3, "repetitions (seeds) per configuration")
-		seed   = flag.Int64("seed", 1, "base seed")
-		fast   = flag.Bool("fast", false, "reduced workload (what `go test -bench` uses)")
+		only    = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
+		csvDir  = flag.String("csv", "", "directory for CSV output (created if missing)")
+		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
+		reps    = flag.Int("reps", 3, "repetitions (seeds) per configuration")
+		seed    = flag.Int64("seed", 1, "base seed")
+		fast    = flag.Bool("fast", false, "reduced workload (what `go test -bench` uses)")
 	)
 	flag.Parse()
 
@@ -85,9 +90,11 @@ func run() error {
 		}
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return fmt.Errorf("create csv dir: %w", err)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("create output dir: %w", err)
+			}
 		}
 	}
 
@@ -95,20 +102,96 @@ func run() error {
 		if len(selected) > 0 && !selected[j.id] {
 			continue
 		}
+		before := telemetry.Snapshot()
 		start := time.Now()
 		tab, err := runJob(j, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", j.id, err)
 		}
+		elapsed := time.Since(start)
 		if err := tab.Render(os.Stdout); err != nil {
 			return fmt.Errorf("%s: render: %w", j.id, err)
 		}
-		fmt.Printf("[%s done in %v]\n\n", j.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %v]\n\n", j.id, elapsed.Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSV(tab, filepath.Join(*csvDir, j.id+".csv")); err != nil {
 				return fmt.Errorf("%s: %w", j.id, err)
 			}
 		}
+		if *jsonDir != "" {
+			rec := benchRecord(j.id, tab, cfg, elapsed, before, telemetry.Snapshot())
+			if err := writeJSON(rec, filepath.Join(*jsonDir, "BENCH_"+j.id+".json")); err != nil {
+				return fmt.Errorf("%s: %w", j.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// benchTelemetry is the training-cost footprint of one experiment,
+// computed as registry deltas over the job's run.
+type benchTelemetry struct {
+	Fits          float64 `json:"fits"`
+	EMIterations  float64 `json:"em_iterations"`
+	MStepIters    float64 `json:"mstep_iterations"`
+	FitSecondsP50 float64 `json:"fit_seconds_p50"`
+	FitSecondsP99 float64 `json:"fit_seconds_p99"`
+}
+
+// record is one BENCH_<id>.json document: the rendered result plus
+// enough run metadata to make the numbers reproducible.
+type record struct {
+	ID          string         `json:"id"`
+	Title       string         `json:"title"`
+	Reps        int            `json:"reps"`
+	Seed        int64          `json:"seed"`
+	Fast        bool           `json:"fast"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Columns     []string       `json:"columns"`
+	Rows        [][]string     `json:"rows"`
+	Telemetry   benchTelemetry `json:"telemetry"`
+}
+
+func benchRecord(id string, tab *experiment.Table, cfg experiment.RunConfig,
+	elapsed time.Duration, before, after telemetry.Values) record {
+	hb, _ := after.Histogram("drdp_core_fit_seconds")
+	ha, _ := before.Histogram("drdp_core_fit_seconds")
+	fit := hb.Delta(ha)
+	// JSON cannot carry NaN; an experiment that never fit a model (pure
+	// transport benchmarks) reports zero quantiles.
+	q := func(p float64) float64 {
+		v := fit.Quantile(p)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	return record{
+		ID:          id,
+		Title:       tab.Title,
+		Reps:        cfg.Reps,
+		Seed:        cfg.Seed,
+		Fast:        cfg.Fast,
+		WallSeconds: elapsed.Seconds(),
+		Columns:     tab.Columns,
+		Rows:        tab.Rows,
+		Telemetry: benchTelemetry{
+			Fits:          after.CounterDelta(before, "drdp_core_fits_total"),
+			EMIterations:  after.CounterDelta(before, "drdp_core_em_iterations_total"),
+			MStepIters:    after.CounterDelta(before, "drdp_core_mstep_iterations_total"),
+			FitSecondsP50: q(0.5),
+			FitSecondsP99: q(0.99),
+		},
+	}
+}
+
+func writeJSON(rec record, path string) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
 	}
 	return nil
 }

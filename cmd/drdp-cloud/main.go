@@ -6,6 +6,7 @@
 //
 //	drdp-cloud -addr :7600 -alpha 1
 //	drdp-cloud -addr :7600 -seed-tasks 8 -dim 20   # pre-warm with synthetic tasks
+//	drdp-cloud -addr :7600 -telemetry-addr :9090   # + /metrics, expvar, pprof
 //
 // Pre-warming simulates a cloud that already solved a family of tasks,
 // so fresh edges get a useful prior immediately (otherwise the first
@@ -15,7 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"github.com/drdp/drdp/internal/baseline"
@@ -24,6 +25,7 @@ import (
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 func main() {
@@ -42,15 +44,31 @@ func run() error {
 		dim       = flag.Int("dim", 20, "feature dimensionality of synthetic seed tasks")
 		clusters  = flag.Int("clusters", 4, "task-family clusters for seed tasks")
 		seed      = flag.Int64("seed", 1, "random seed")
+		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
+		quiet     = flag.Bool("quiet", false, "only log warnings and errors")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "drdp-cloud: ", log.LstdFlags)
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := telemetry.NewLogger(level).With("component", "drdp-cloud")
+
+	if *telAddr != "" {
+		telSrv, bound, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer telSrv.Close()
+		logger.Info("telemetry endpoint up", "addr", bound,
+			"endpoints", "/metrics /debug/vars /debug/pprof")
+	}
 
 	var seedPosteriors []dpprior.TaskPosterior
 	if *seedTasks > 0 {
-		logger.Printf("pre-warming with %d synthetic tasks (dim=%d, clusters=%d)",
-			*seedTasks, *dim, *clusters)
+		logger.Info("pre-warming with synthetic tasks",
+			"tasks", *seedTasks, "dim", *dim, "clusters", *clusters)
 		var err error
 		seedPosteriors, err = synthesizeTasks(*seedTasks, *dim, *clusters, *seed)
 		if err != nil {
@@ -69,7 +87,7 @@ func run() error {
 
 	addrCh := make(chan string, 1)
 	go func() {
-		logger.Printf("serving on %s", <-addrCh)
+		logger.Info("serving", "addr", <-addrCh)
 	}()
 	return srv.ListenAndServe(*addr, addrCh)
 }

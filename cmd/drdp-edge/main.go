@@ -30,6 +30,7 @@ import (
 	"github.com/drdp/drdp/internal/metrics"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 func main() {
@@ -59,8 +60,19 @@ func run() error {
 		breakerN  = flag.Int("breaker-threshold", edge.DefaultBreakerConfig.Threshold, "consecutive failures that trip the circuit breaker (0 disables)")
 		cachePath = flag.String("cache", "", "prior cache file: fall back to the last good prior when the cloud is unreachable")
 		fallback  = flag.Bool("fallback-local", false, "train prior-free when the cloud is unreachable and the cache is cold")
+		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
+		quiet     = flag.Bool("quiet", false, "silence transport warnings")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		telSrv, bound, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer telSrv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", bound)
+	}
 
 	setKind, err := dro.ParseKind(*kind)
 	if err != nil {
@@ -114,13 +126,17 @@ func run() error {
 		retry := edge.DefaultRetryPolicy
 		retry.MaxAttempts = *retries
 		retry.Base = *backoff
-		client := edge.DialResilient(*cloud, edge.ResilientOptions{
+		ropts := edge.ResilientOptions{
 			Retry:            retry,
 			Breaker:          edge.BreakerConfig{Threshold: *breakerN, Cooldown: edge.DefaultBreakerConfig.Cooldown},
 			DialTimeout:      *timeout,
 			RoundTripTimeout: *rtTimeout,
 			Seed:             *seed,
-		})
+		}
+		if *quiet {
+			ropts.Logger = telemetry.Discard()
+		}
+		client := edge.DialResilient(*cloud, ropts)
 		defer client.Close()
 		result, status, err := dev.RunWithStatus(client, train.X, train.Y, *report)
 		if err != nil {

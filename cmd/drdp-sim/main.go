@@ -21,6 +21,7 @@ import (
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/sim"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run() error {
 		rebuildEvery = flag.Int("rebuild-every", 1, "cloud rebuild batch size")
 		rho          = flag.Float64("rho", 0.05, "Wasserstein radius")
 		seed         = flag.Int64("seed", 1, "random seed")
+		metrics      = flag.Bool("metrics", false, "print a telemetry summary (fits, EM iterations, fit-time quantiles) after the run")
 	)
 	flag.Parse()
 
@@ -105,5 +107,17 @@ func run() error {
 	fmt.Printf("\ncloud: %d rebuilds, final prior version %d; traffic %0.1f KB down / %0.1f KB up\n",
 		res.Rebuilds, res.FinalVersion,
 		float64(res.BytesDown)/1024, float64(res.BytesUp)/1024)
+
+	if *metrics {
+		snap := telemetry.Snapshot()
+		fmt.Printf("telemetry: %.0f fits, %.0f EM iterations, %.0f M-step iterations\n",
+			snap.Counter("drdp_core_fits_total"),
+			snap.Counter("drdp_core_em_iterations_total"),
+			snap.Counter("drdp_core_mstep_iterations_total"))
+		if h, ok := snap.Histogram("drdp_core_fit_seconds"); ok && h.Count > 0 {
+			fmt.Printf("fit time: p50 %.1fms, p99 %.1fms (wall-clock; the simulated clock uses the compute model)\n",
+				h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3)
+		}
+	}
 	return nil
 }

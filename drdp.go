@@ -41,6 +41,7 @@ import (
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Core learner.
@@ -379,4 +380,40 @@ var (
 	FromRows = mat.FromRows
 	// NewRNG returns a seeded random stream.
 	NewRNG = stat.NewRNG
+)
+
+// Observability: every layer reports into one process-wide metric
+// registry (counters, gauges, latency histograms named
+// drdp_<layer>_<name>_<unit>) that can be served over HTTP in the
+// Prometheus text format or snapshotted in-process for assertions.
+type (
+	// FitProgress reports one EM iteration of a running fit; subscribe
+	// with WithProgress.
+	FitProgress = core.Progress
+	// TelemetryValues is a point-in-time copy of the metric registry.
+	TelemetryValues = telemetry.Values
+	// MetricLabel is one name/value label on a metric series.
+	MetricLabel = telemetry.Label
+	// BreakerState is the circuit-breaker state reported by
+	// TransportStats and BreakerConfig.OnStateChange.
+	BreakerState = edge.BreakerState
+)
+
+var (
+	// WithProgress subscribes a per-EM-iteration callback on a learner.
+	WithProgress = core.WithProgress
+	// TelemetrySnapshot copies the current state of every metric.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryHandler serves the registry as Prometheus text (0.0.4).
+	TelemetryHandler = telemetry.Handler
+	// ServeTelemetry starts the full observability endpoint (/metrics,
+	// /debug/vars, /debug/pprof) on addr; pass nil for the default
+	// registry.
+	ServeTelemetry = telemetry.Serve
+	// DiscardLogger returns a logger that drops everything — pass it as
+	// a component's Logger to opt out of the default stderr warnings.
+	DiscardLogger = telemetry.Discard
+	// L builds a MetricLabel, for reading labeled series out of a
+	// TelemetryValues snapshot.
+	L = telemetry.L
 )

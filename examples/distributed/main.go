@@ -143,6 +143,7 @@ func run() error {
 		Breaker:          drdp.BreakerConfig{Threshold: 16, Cooldown: 200 * time.Millisecond},
 		RoundTripTimeout: 500 * time.Millisecond, // drops must be detected fast
 		Seed:             99,
+		Logger:           drdp.DiscardLogger(), // the metrics below tell the story
 	})
 	defer rc.Close()
 
@@ -192,6 +193,7 @@ func run() error {
 		DialTimeout:      500 * time.Millisecond,
 		RoundTripTimeout: time.Second,
 		Seed:             100,
+		Logger:           drdp.DiscardLogger(),
 	})
 	defer outage.Close()
 	train := task.Sample(rng, 12)
@@ -203,5 +205,32 @@ func run() error {
 	fmt.Printf("  prior=%s (v%d)  accuracy %.3f\n",
 		status.Degradation, status.PriorVersion,
 		drdp.Accuracy(m, res.Params, test.X, test.Y))
+
+	// Observability: everything above also reported into the process-wide
+	// metric registry — the same numbers a deployed fleet would scrape
+	// from /metrics (drdp.ServeTelemetry) are available in-process.
+	snap := drdp.TelemetrySnapshot()
+	fmt.Println("\ntelemetry snapshot (what /metrics would show):")
+	fmt.Printf("  client: %.0f dials, %.0f retries, %.0f failures; %.0f B sent, %.0f B received\n",
+		snap.Counter("drdp_edge_client_dials_total"),
+		snap.Counter("drdp_edge_client_retries_total"),
+		snap.Counter("drdp_edge_client_failures_total"),
+		snap.Counter("drdp_edge_client_sent_bytes_total"),
+		snap.Counter("drdp_edge_client_received_bytes_total"))
+	fmt.Printf("  cache: %.0f hits, %.0f misses, %.0f stale fallbacks\n",
+		snap.Counter("drdp_edge_cache_hits_total"),
+		snap.Counter("drdp_edge_cache_misses_total"),
+		snap.Counter("drdp_edge_cache_stale_total"))
+	fmt.Printf("  cloud: %.0f connections, %.0f get-prior, %.0f report-task requests\n",
+		snap.Counter("drdp_edge_server_connections_total"),
+		snap.Counter("drdp_edge_server_requests_total", drdp.L("kind", "get-prior")),
+		snap.Counter("drdp_edge_server_requests_total", drdp.L("kind", "report-task")))
+	if h, ok := snap.Histogram("drdp_edge_client_roundtrip_seconds"); ok && h.Count > 0 {
+		fmt.Printf("  round trip: p50 %.1fms, p99 %.1fms over %d round trips\n",
+			h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3, h.Count)
+	}
+	fmt.Printf("  training: %.0f fits, %.0f EM iterations\n",
+		snap.Counter("drdp_core_fits_total"),
+		snap.Counter("drdp_core_em_iterations_total"))
 	return nil
 }

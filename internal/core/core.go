@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/dro"
@@ -26,6 +27,7 @@ import (
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Learner is a configured DRDP edge learner. Construct with New; the
@@ -44,6 +46,7 @@ type Learner struct {
 	proximal    bool
 	lbfgsMem    int            // > 0 selects the L-BFGS inner solver
 	ground      dro.GroundNorm // transport cost of the Wasserstein ball
+	progress    func(Progress) // per-EM-iteration callback; nil = none
 }
 
 // Option configures a Learner.
@@ -246,6 +249,7 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 		losses:  make([]float64, n),
 	}
 
+	fitStart := time.Now()
 	var res em.Result
 	if l.prior == nil {
 		// No prior: a single convex M-step solves the whole problem.
@@ -253,12 +257,15 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 		obj := prob.objective(theta)
 		res = em.Result{Theta: theta, Objective: obj, Trace: []float64{obj},
 			Iterations: 1, Converged: true}
+		l.recordIteration(Progress{Start: 0, Iter: 1, Objective: obj,
+			GradNorm: prob.lastGradNorm, MStepIters: prob.lastMStepIters, Theta: theta})
 	} else {
 		// The mixture prior makes the objective multi-basin; run EM from
 		// each candidate start and keep the best final objective, so the
 		// local data can veto a misleading cloud component.
 		for i, start := range l.startingPoints() {
-			run := em.Run[[]float64](prob, start, em.Options{MaxIters: l.emIters, Tol: l.emTol})
+			run := em.Run[[]float64](prob, start, em.Options{
+				MaxIters: l.emIters, Tol: l.emTol, OnIter: l.iterHook(i, prob)})
 			if i == 0 || run.Objective < res.Objective {
 				res = run
 			}
@@ -280,6 +287,17 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 	if l.prior != nil {
 		out.Responsibilities = l.prior.Responsibilities(final)
 	}
+
+	// Publish the winning run: final objective/delta gauges and the
+	// per-iteration objective trace from the start that won the
+	// multi-start selection.
+	telemetry.CoreFits.Inc()
+	telemetry.CoreFitSeconds.Observe(time.Since(fitStart).Seconds())
+	telemetry.CoreObjective.Set(res.Objective)
+	if k := len(res.Trace); k >= 2 {
+		telemetry.CoreObjectiveDelta.Set(res.Trace[k-1] - res.Trace[k-2])
+	}
+	telemetry.SetEMTrace(res.Trace)
 	return out, nil
 }
 
@@ -341,6 +359,12 @@ type drdpProblem struct {
 	y       []float64
 	tau     float64
 	losses  []float64 // scratch, length n
+
+	// Inner-solver stats from the most recent mStep call, read by the
+	// progress hook right after each EM iteration (the EM loop is
+	// sequential, so no synchronization is needed).
+	lastMStepIters int
+	lastGradNorm   float64
 }
 
 var _ em.Problem[[]float64] = (*drdpProblem)(nil)
@@ -402,6 +426,7 @@ func (p *drdpProblem) mStep(theta mat.Vec, gamma []float64) mat.Vec {
 		return value
 	}
 	res := opt.GD(f, theta, l.mstep)
+	p.lastMStepIters, p.lastGradNorm = res.Iterations, res.GradNorm
 	return res.Theta
 }
 

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"github.com/drdp/drdp/internal/em"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// Progress is the per-EM-iteration report delivered to a WithProgress
+// callback: which multi-start run and iteration produced it, the true
+// objective and its change, and what the inner M-step solver did to get
+// there. Without a prior, Fit is a single convex solve and emits exactly
+// one Progress event.
+type Progress struct {
+	// Start indexes the multi-start run this iteration belongs to
+	// (0-based; always 0 with WithInit, WithSingleStart or no prior).
+	Start int
+	// Iter is the 1-based EM iteration within the run.
+	Iter int
+	// Objective is the true DRDP objective after this iteration.
+	Objective float64
+	// Delta is Objective minus the previous iteration's objective
+	// (non-positive by the MM descent property, up to solver noise).
+	Delta float64
+	// GradNorm is the final gradient norm reported by the inner M-step
+	// solver (0 for the minibatch-Adam solver, which does not track it).
+	GradNorm float64
+	// MStepIters is how many inner iterations the M-step solver ran.
+	MStepIters int
+	// Theta is the current iterate. It is shared with the EM loop — read
+	// it or copy it, do not mutate it.
+	Theta mat.Vec
+}
+
+// WithProgress registers a callback invoked after every EM iteration of
+// every start during Fit. The callback runs synchronously on the fitting
+// goroutine; keep it cheap. Telemetry counters and gauges
+// (drdp_core_*) are updated regardless of whether a callback is set.
+func WithProgress(fn func(Progress)) Option {
+	return func(l *Learner) error {
+		l.progress = fn
+		return nil
+	}
+}
+
+// iterHook adapts em.Options.OnIter to Progress + telemetry for one
+// multi-start run.
+func (l *Learner) iterHook(start int, prob *drdpProblem) func(em.Iteration) {
+	return func(it em.Iteration) {
+		l.recordIteration(Progress{
+			Start:      start,
+			Iter:       it.Iter,
+			Objective:  it.Objective,
+			Delta:      it.Objective - it.Prev,
+			GradNorm:   prob.lastGradNorm,
+			MStepIters: prob.lastMStepIters,
+			Theta:      it.Theta,
+		})
+	}
+}
+
+// recordIteration publishes one iteration to telemetry and the user
+// callback.
+func (l *Learner) recordIteration(p Progress) {
+	telemetry.CoreEMIterations.Inc()
+	telemetry.CoreMStepIters.Add(float64(p.MStepIters))
+	telemetry.CoreObjective.Set(p.Objective)
+	telemetry.CoreObjectiveDelta.Set(p.Delta)
+	telemetry.CoreGradNorm.Set(p.GradNorm)
+	if l.progress != nil {
+		l.progress(p)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// progressFixture builds a small logistic problem plus a 2-component
+// prior so Fit exercises the full multi-start EM path.
+func progressFixture(t *testing.T) (*mat.Dense, []float64, *dpprior.Compiled) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const n, dim = 40, 3
+	x := mat.NewDense(n, dim)
+	y := make([]float64, n)
+	truth := mat.Vec{1.5, -1, 0.5}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		var dot float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * truth[j]
+		}
+		if 1/(1+math.Exp(-dot)) > rng.Float64() {
+			y[i] = 1
+		}
+	}
+	// model.Logistic{Dim: 3} has 4 parameters (weights + bias).
+	const nparams = dim + 1
+	sigmaA, sigmaB := mat.Eye(nparams), mat.Eye(nparams)
+	sigmaA.ScaleBy(0.5)
+	sigmaB.ScaleBy(0.5)
+	p := &dpprior.Prior{
+		Alpha: 1,
+		Components: []dpprior.Component{
+			{Weight: 0.5, Mu: mat.Vec{1.4, -0.9, 0.4, 0}, Sigma: sigmaA, Count: 5},
+			{Weight: 0.4, Mu: mat.Vec{-2, 2, -2, 0}, Sigma: sigmaB, Count: 5},
+		},
+		BaseWeight: 0.1,
+		BaseSigma:  10,
+		Dim:        nparams,
+	}
+	compiled, err := dpprior.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, y, compiled
+}
+
+func TestWithProgressReportsEveryIteration(t *testing.T) {
+	x, y, prior := progressFixture(t)
+
+	var events []Progress
+	l, err := New(model.Logistic{Dim: 3},
+		WithUncertaintySet(dro.Set{Kind: dro.Wasserstein, Rho: 0.05}),
+		WithPrior(prior),
+		WithEMIters(10, 1e-8),
+		WithProgress(func(p Progress) { events = append(events, p) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := telemetry.Snapshot()
+	res, err := l.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := telemetry.Snapshot()
+
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	starts := map[int]bool{}
+	lastIter := map[int]int{}
+	for _, p := range events {
+		starts[p.Start] = true
+		if p.Iter != lastIter[p.Start]+1 {
+			t.Fatalf("start %d: iteration %d does not follow %d", p.Start, p.Iter, lastIter[p.Start])
+		}
+		lastIter[p.Start] = p.Iter
+		if p.MStepIters < 0 {
+			t.Fatalf("event %+v: negative M-step iterations", p)
+		}
+		if p.GradNorm < 0 || math.IsNaN(p.GradNorm) {
+			t.Fatalf("event %+v: bad gradient norm", p)
+		}
+		if len(p.Theta) != 4 {
+			t.Fatalf("event %+v: theta length %d", p, len(p.Theta))
+		}
+	}
+	// Multi-start default: prior components + base start = 3 runs.
+	if len(starts) != 3 {
+		t.Fatalf("saw %d starts, want 3", len(starts))
+	}
+	var anyInner bool
+	for _, p := range events {
+		if p.MStepIters > 0 {
+			anyInner = true
+		}
+	}
+	if !anyInner {
+		t.Fatal("no event reported inner M-step iterations")
+	}
+
+	// Telemetry agrees with the callback count and the winning trace.
+	if got := now.CounterDelta(base, "drdp_core_em_iterations_total"); got != float64(len(events)) {
+		t.Fatalf("em iterations counter delta %v, want %d", got, len(events))
+	}
+	if got := now.CounterDelta(base, "drdp_core_fits_total"); got != 1 {
+		t.Fatalf("fits counter delta %v, want 1", got)
+	}
+	var sumMStep float64
+	for _, p := range events {
+		sumMStep += float64(p.MStepIters)
+	}
+	if got := now.CounterDelta(base, "drdp_core_mstep_iterations_total"); got != sumMStep {
+		t.Fatalf("mstep counter delta %v, want %v", got, sumMStep)
+	}
+	if got := now.Gauge("drdp_core_em_objective"); got != res.Objective {
+		t.Fatalf("objective gauge %v, want %v", got, res.Objective)
+	}
+	for i, want := range res.Trace {
+		got := now.Gauge("drdp_core_em_objective_iter", telemetry.L("iter", strconv.Itoa(i)))
+		if got != want {
+			t.Fatalf("trace gauge iter %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestProgressNoPriorSingleEvent(t *testing.T) {
+	x, y, _ := progressFixture(t)
+	var events []Progress
+	l, err := New(model.Logistic{Dim: 3},
+		WithUncertaintySet(dro.Set{Kind: dro.Wasserstein, Rho: 0.05}),
+		WithProgress(func(p Progress) { events = append(events, p) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("no-prior fit emitted %d events, want 1", len(events))
+	}
+	if events[0].Objective != res.Objective || events[0].Iter != 1 {
+		t.Fatalf("bad synthetic event %+v (objective %v)", events[0], res.Objective)
+	}
+}

@@ -66,6 +66,7 @@ func (p *drdpProblem) lbfgsMStep(theta mat.Vec, scaled []float64) mat.Vec {
 		return value
 	}
 	res := opt.LBFGS(f, theta, opt.LBFGSOptions{Options: l.mstep, Memory: l.lbfgsMem})
+	p.lastMStepIters, p.lastGradNorm = res.Iterations, res.GradNorm
 	return res.Theta
 }
 
@@ -108,5 +109,6 @@ func (p *drdpProblem) proximalMStep(theta mat.Vec, scaled []float64) mat.Vec {
 		return rho * mat.Norm2(th[from:to])
 	}
 	res := opt.ProxGD(f, opt.ProxL2Block(rho, from, to), penalty, theta, l.mstep)
+	p.lastMStepIters, p.lastGradNorm = res.Iterations, res.GradNorm
 	return res.Theta
 }

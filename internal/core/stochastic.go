@@ -61,6 +61,7 @@ func (p *drdpProblem) stochasticMStep(theta mat.Vec, scaled []float64) mat.Vec {
 	weights := make([]float64, n)
 	bLosses := make([]float64, batch)
 
+	steps := 0
 	for epoch := 0; epoch < cfg.epochs; epoch++ {
 		perm := rng.Perm(n)
 		for start := 0; start < n; start += batch {
@@ -90,8 +91,12 @@ func (p *drdpProblem) stochasticMStep(theta mat.Vec, scaled []float64) mat.Vec {
 				l.prior.SurrogateGrad(out, scaled, grad)
 			}
 			adam.Step(out, grad)
+			steps++
 		}
 	}
+	// Adam does not track a terminal gradient norm; report step count
+	// only.
+	p.lastMStepIters, p.lastGradNorm = steps, 0
 	return out
 }
 

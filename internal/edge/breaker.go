@@ -50,6 +50,12 @@ type BreakerConfig struct {
 	// Cooldown is how long the breaker stays open before allowing a
 	// half-open probe.
 	Cooldown time.Duration
+	// OnStateChange, when non-nil, is invoked on every state transition
+	// (closed→open, open→half-open, half-open→open, half-open/open→closed)
+	// with the old and new state. It is called after the breaker's lock
+	// is released, from whatever goroutine drove the transition; it must
+	// not block for long and may call State().
+	OnStateChange func(from, to BreakerState)
 }
 
 // DefaultBreakerConfig trips after 5 consecutive failures and probes
@@ -75,6 +81,26 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
 	return &breaker{cfg: cfg, now: now}
 }
 
+// setStateLocked records a transition under b.mu and returns the
+// (from, to) pair to report once the lock is released, or ok=false when
+// the state did not actually change. Callbacks must fire outside the
+// lock so OnStateChange can call State() without deadlocking.
+func (b *breaker) setStateLocked(to BreakerState) (from BreakerState, ok bool) {
+	from = b.state
+	if from == to {
+		return from, false
+	}
+	b.state = to
+	return from, true
+}
+
+// notify fires the transition callback, if any.
+func (b *breaker) notify(from, to BreakerState, changed bool) {
+	if changed && b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
 // allow reports whether a request may proceed, transitioning
 // open → half-open when the cool-down has elapsed.
 func (b *breaker) allow() error {
@@ -82,13 +108,18 @@ func (b *breaker) allow() error {
 		return nil
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var from, to BreakerState
+	var changed bool
 	if b.state == BreakerOpen {
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
 			return ErrCircuitOpen
 		}
-		b.state = BreakerHalfOpen
+		from, changed = b.setStateLocked(BreakerHalfOpen)
+		to = BreakerHalfOpen
 	}
+	b.mu.Unlock()
+	b.notify(from, to, changed)
 	return nil
 }
 
@@ -97,9 +128,10 @@ func (b *breaker) onSuccess() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	from, changed := b.setStateLocked(BreakerClosed)
 	b.failures = 0
+	b.mu.Unlock()
+	b.notify(from, BreakerClosed, changed)
 }
 
 func (b *breaker) onFailure() {
@@ -107,14 +139,17 @@ func (b *breaker) onFailure() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var from BreakerState
+	var changed bool
 	b.failures++
 	// A half-open probe failing re-opens immediately; in closed state the
 	// consecutive-failure count must reach the threshold.
 	if b.state == BreakerHalfOpen || b.failures >= b.cfg.Threshold {
-		b.state = BreakerOpen
+		from, changed = b.setStateLocked(BreakerOpen)
 		b.openedAt = b.now()
 	}
+	b.mu.Unlock()
+	b.notify(from, BreakerOpen, changed)
 }
 
 // State returns the current state (open is reported even before the next

@@ -18,11 +18,11 @@ import (
 // with retries, a cache, and local fallback.
 func chaosCases() map[string]FaultConfig {
 	return map[string]FaultConfig{
-		"drops":    {Seed: 1, DropWrite: 0.3},
-		"resets":   {Seed: 2, Reset: 0.15},
-		"corrupt":  {Seed: 3, CorruptWrite: 0.2, CorruptRead: 0.1},
-		"partial":  {Seed: 4, PartialWrite: 0.25},
-		"stalls":   {Seed: 5, DelayProb: 0.4, Delay: 120 * time.Millisecond},
+		"drops":   {Seed: 1, DropWrite: 0.3},
+		"resets":  {Seed: 2, Reset: 0.15},
+		"corrupt": {Seed: 3, CorruptWrite: 0.2, CorruptRead: 0.1},
+		"partial": {Seed: 4, PartialWrite: 0.25},
+		"stalls":  {Seed: 5, DelayProb: 0.4, Delay: 120 * time.Millisecond},
 		"everything": {
 			Seed: 6, DropWrite: 0.1, Reset: 0.05, CorruptWrite: 0.05,
 			CorruptRead: 0.05, PartialWrite: 0.1, DelayProb: 0.2,

@@ -1,0 +1,32 @@
+package edge
+
+import (
+	"net"
+
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// countConn wraps a net.Conn and feeds byte counts into telemetry
+// counters — the client and server each wear it with their own sent/
+// received series. Deadline and address methods pass through via the
+// embedded Conn.
+type countConn struct {
+	net.Conn
+	sent, recv *telemetry.Counter
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.recv.Add(float64(n))
+	}
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.sent.Add(float64(n))
+	}
+	return n, err
+}

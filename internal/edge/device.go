@@ -9,6 +9,7 @@ import (
 	"github.com/drdp/drdp/internal/dro"
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Cloud is the client-side surface a Device drives the knowledge-transfer
@@ -136,6 +137,7 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 		prior, version, err = c.FetchPriorIfNewer(dim, known)
 		if err == nil && prior == nil {
 			// NotModified: the cached copy IS the current prior.
+			telemetry.CacheHits.Inc()
 			cached, _, _ := d.Cache.Get()
 			st.PriorVersion = known
 			return cached, st, nil
@@ -148,6 +150,8 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 	case err == nil:
 		st.PriorVersion = version
 		if d.Cache != nil {
+			// The cache couldn't answer (cold, or the cloud had newer).
+			telemetry.CacheMisses.Inc()
 			// A broken cache must not fail a healthy round; the next
 			// outage just won't have this prior to fall back on.
 			_ = d.Cache.Put(prior, version)
@@ -167,8 +171,10 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 			// fix a request the server refuses — surface it.
 			return nil, st, err
 		}
+		telemetry.DeviceFetchErrors.Inc()
 		// Transport fault: fall back to the cached prior, then local-only.
 		if cached, cv, ok := d.Cache.Get(); ok {
+			telemetry.CacheStale.Inc()
 			st.Degradation = DegradedCached
 			st.PriorVersion = cv
 			st.FetchErr = err
@@ -207,6 +213,7 @@ func (d *Device) RunWithStatus(c Cloud, x *mat.Dense, y []float64, report bool) 
 			N:     x.Rows,
 		})
 		if err != nil {
+			telemetry.DeviceReportErrors.Inc()
 			if !d.FallbackLocal {
 				return nil, st, fmt.Errorf("edge: device %d: report: %w", d.ID, err)
 			}
@@ -214,6 +221,7 @@ func (d *Device) RunWithStatus(c Cloud, x *mat.Dense, y []float64, report bool) 
 			st.ReportErr = err
 		}
 	}
+	telemetry.DeviceRoundCounter(st.Degradation.String()).Inc()
 	return res, st, nil
 }
 

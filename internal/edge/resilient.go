@@ -3,13 +3,13 @@ package edge
 import (
 	"errors"
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // ResilientOptions configures a ResilientClient.
@@ -29,8 +29,10 @@ type ResilientOptions struct {
 	// Seed drives the backoff jitter; the same seed yields the same
 	// retry schedule. 0 seeds from the clock.
 	Seed int64
-	// Logger receives retry/redial notices; nil discards them.
-	Logger *log.Logger
+	// Logger receives structured retry/redial/breaker notices. nil picks
+	// the default handler (stderr, WARN level) so real transport trouble
+	// is visible out of the box; pass telemetry.Discard() to silence.
+	Logger *slog.Logger
 }
 
 // TransportStats counts what the resilience machinery actually did —
@@ -60,7 +62,7 @@ type ResilientClient struct {
 	opts   ResilientOptions
 	rng    *rand.Rand
 	br     *breaker
-	logger *log.Logger
+	logger *slog.Logger
 
 	// sleep is injectable so tests can run the retry schedule against a
 	// fake clock.
@@ -93,15 +95,32 @@ func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) *R
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	logger := opts.Logger
-	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+	logger := telemetry.OrDefault(opts.Logger)
+	// Chain the breaker's transition callback: telemetry gauge +
+	// transition counter + event + log first, then the caller's own
+	// callback, so user code always sees transitions the metrics saw.
+	userCB := opts.Breaker.OnStateChange
+	brCfg := opts.Breaker
+	brCfg.OnStateChange = func(from, to BreakerState) {
+		telemetry.BreakerState.Set(float64(to))
+		telemetry.BreakerTransitionCounter(to.String()).Inc()
+		telemetry.Events.RecordKV("edge-client", "breaker-transition",
+			"from", from.String(), "to", to.String())
+		if to == BreakerOpen {
+			logger.Warn("edge: circuit breaker opened", "from", from.String())
+		} else {
+			logger.Info("edge: circuit breaker state change",
+				"from", from.String(), "to", to.String())
+		}
+		if userCB != nil {
+			userCB(from, to)
+		}
 	}
 	return &ResilientClient{
 		dial:   dial,
 		opts:   opts,
 		rng:    rand.New(rand.NewSource(seed)),
-		br:     newBreaker(opts.Breaker, nil),
+		br:     newBreaker(brCfg, nil),
 		logger: logger,
 		sleep:  time.Sleep,
 	}
@@ -131,11 +150,16 @@ func (r *ResilientClient) connect() error {
 		return nil
 	}
 	r.stats.Dials++
+	telemetry.EdgeClientDials.Inc()
 	conn, err := r.dial()
 	if err != nil {
 		return err
 	}
-	c := NewClient(conn)
+	c := NewClient(countConn{
+		Conn: conn,
+		sent: telemetry.EdgeClientSent,
+		recv: telemetry.EdgeClientReceived,
+	})
 	c.SetRoundTripTimeout(r.opts.RoundTripTimeout)
 	r.c = c
 	return nil
@@ -148,7 +172,10 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			r.stats.Retries++
-			r.sleep(r.opts.Retry.Delay(attempt-1, r.rng))
+			telemetry.EdgeClientRetries.Inc()
+			delay := r.opts.Retry.Delay(attempt-1, r.rng)
+			telemetry.EdgeClientBackoff.Add(delay.Seconds())
+			r.sleep(delay)
 		}
 		if err := r.br.allow(); err != nil {
 			// Fail fast: the breaker is open, don't burn the retry budget
@@ -160,13 +187,17 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		}
 		if err := r.connect(); err != nil {
 			r.stats.Failures++
+			telemetry.EdgeClientFailures.Inc()
 			r.br.onFailure()
 			lastErr = err
-			r.logger.Printf("edge: resilient: dial failed (attempt %d/%d): %v", attempt+1, attempts, err)
+			r.logger.Warn("edge: resilient dial failed",
+				"attempt", attempt+1, "attempts", attempts, "err", err)
 			continue
 		}
+		rtStart := time.Now()
 		resp, err := r.c.roundTrip(req)
 		if err == nil {
+			telemetry.EdgeClientRoundtrip.Observe(time.Since(rtStart).Seconds())
 			r.br.onSuccess()
 			return resp, nil
 		}
@@ -174,6 +205,7 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		if errors.As(err, &se) {
 			// The transport round-tripped fine; the server rejected the
 			// request. Not retriable, and not a breaker failure.
+			telemetry.EdgeClientRoundtrip.Observe(time.Since(rtStart).Seconds())
 			r.br.onSuccess()
 			return nil, err
 		}
@@ -182,9 +214,11 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		r.c.Close()
 		r.c = nil
 		r.stats.Failures++
+		telemetry.EdgeClientFailures.Inc()
 		r.br.onFailure()
 		lastErr = err
-		r.logger.Printf("edge: resilient: %s failed (attempt %d/%d): %v", req.Kind, attempt+1, attempts, err)
+		r.logger.Warn("edge: resilient round trip failed",
+			"kind", req.Kind.String(), "attempt", attempt+1, "attempts", attempts, "err", err)
 	}
 	return nil, fmt.Errorf("edge: resilient: %s failed after %d attempts: %w", req.Kind, attempts, lastErr)
 }

@@ -5,12 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Server-hardening defaults.
@@ -28,7 +29,7 @@ const (
 // lazily, at most once per version of the task set.
 type CloudServer struct {
 	opts   dpprior.BuildOptions
-	logger *log.Logger
+	logger *slog.Logger
 
 	// MaxFrameBytes caps the size of one request frame (default
 	// DefaultMaxFrameBytes; set before Serve, negative = unlimited).
@@ -55,14 +56,14 @@ type CloudServer struct {
 }
 
 // NewCloudServer creates a server with the given prior-construction
-// options. Seed tasks may be nil. logger may be nil to discard logs.
-func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, logger *log.Logger) (*CloudServer, error) {
+// options. Seed tasks may be nil. A nil logger picks the default
+// handler (stderr, WARN level) so panics and decode errors are visible
+// by default; pass telemetry.Discard() to silence.
+func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, logger *slog.Logger) (*CloudServer, error) {
 	if opts.Alpha <= 0 {
 		return nil, fmt.Errorf("edge: NewCloudServer: alpha %g must be positive", opts.Alpha)
 	}
-	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
-	}
+	logger = telemetry.OrDefault(logger)
 	s := &CloudServer{
 		opts:          opts,
 		logger:        logger,
@@ -73,6 +74,8 @@ func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, log
 	if len(s.tasks) > 0 {
 		s.version = 1
 	}
+	telemetry.ServerTasks.Set(float64(len(s.tasks)))
+	telemetry.ServerPriorVersion.Set(float64(s.version))
 	return s, nil
 }
 
@@ -95,6 +98,8 @@ func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
 	}
 	s.tasks = append(s.tasks, t)
 	s.version++
+	telemetry.ServerTasks.Set(float64(len(s.tasks)))
+	telemetry.ServerPriorVersion.Set(float64(s.version))
 	return s.version, nil
 }
 
@@ -121,6 +126,7 @@ func (s *CloudServer) priorLocked() (*dpprior.Prior, uint64, error) {
 		}
 		s.prior = p
 		s.built = s.version
+		telemetry.ServerRebuilds.Inc()
 	}
 	return s.prior, s.version, nil
 }
@@ -176,9 +182,12 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.lnMu.Unlock()
+		telemetry.ServerConnsTotal.Inc()
+		telemetry.ServerConnsActive.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer telemetry.ServerConnsActive.Add(-1)
 			defer func() {
 				s.lnMu.Lock()
 				delete(s.conns, conn)
@@ -255,12 +264,15 @@ func (s *CloudServer) handle(conn net.Conn) {
 	// A panicking handler must cost one connection, not the fleet's cloud.
 	defer func() {
 		if r := recover(); r != nil {
-			s.logger.Printf("edge: panic handling %s: %v", conn.RemoteAddr(), r)
+			telemetry.ServerPanics.Inc()
+			s.logger.Error("edge: panic in connection handler",
+				"remote", conn.RemoteAddr().String(), "panic", r)
 		}
 	}()
-	lim := &limitedConnReader{r: conn, max: s.MaxFrameBytes}
+	cc := countConn{Conn: conn, sent: telemetry.ServerSent, recv: telemetry.ServerReceived}
+	lim := &limitedConnReader{r: cc, max: s.MaxFrameBytes}
 	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(cc)
 	for {
 		lim.reset()
 		if s.IdleTimeout > 0 {
@@ -272,16 +284,22 @@ func (s *CloudServer) handle(conn net.Conn) {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
-				s.logger.Printf("edge: decode request from %s: %v", conn.RemoteAddr(), err)
+				telemetry.ServerDecodeErrors.Inc()
+				s.logger.Warn("edge: decode request failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
 		if s.panicHook != nil {
 			s.panicHook(&req)
 		}
+		start := time.Now()
 		resp := s.dispatch(&req)
+		telemetry.ServerReqCounter(req.Kind.String()).Inc()
+		telemetry.ServerRequestSeconds.Observe(time.Since(start).Seconds())
 		if err := enc.Encode(resp); err != nil {
-			s.logger.Printf("edge: encode response to %s: %v", conn.RemoteAddr(), err)
+			s.logger.Warn("edge: encode response failed",
+				"remote", conn.RemoteAddr().String(), "err", err)
 			return
 		}
 	}

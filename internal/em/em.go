@@ -24,6 +24,20 @@ type Problem[T any] interface {
 type Options struct {
 	MaxIters int     // default 50
 	Tol      float64 // relative objective change tolerance; default 1e-6
+
+	// OnIter, when non-nil, is invoked after every completed E/M
+	// iteration with the fresh objective. Errors or long work inside the
+	// hook stall the loop; it is meant for telemetry and progress
+	// reporting.
+	OnIter func(Iteration)
+}
+
+// Iteration is the per-iteration report passed to Options.OnIter.
+type Iteration struct {
+	Iter      int       // 1-based iteration index
+	Objective float64   // objective after this iteration
+	Prev      float64   // objective before this iteration
+	Theta     []float64 // current iterate (shared, do not mutate)
 }
 
 // Result reports an EM run.
@@ -54,6 +68,9 @@ func Run[T any](p Problem[T], theta0 []float64, opts Options) Result {
 		theta = p.MStep(theta, aux)
 		next := p.Objective(theta)
 		trace = append(trace, next)
+		if opts.OnIter != nil {
+			opts.OnIter(Iteration{Iter: iter, Objective: next, Prev: obj, Theta: theta})
+		}
 		rel := math.Abs(obj-next) / (1 + math.Abs(obj))
 		obj = next
 		if rel < opts.Tol {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/drdp/drdp/internal/em"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // fastCfg keeps the smoke tests quick while exercising every runner.
@@ -204,5 +205,29 @@ func TestFigure3ConvergenceMonotone(t *testing.T) {
 	}
 	if len(ser.Y[0]) < 3 {
 		t.Errorf("trace too short: %v", ser.Y[0])
+	}
+}
+
+// TestExperimentTelemetryFootprint checks that running an experiment
+// leaves a training footprint in the process-wide registry — the same
+// counters drdp-bench -json records per experiment.
+func TestExperimentTelemetryFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	before := telemetry.Snapshot()
+	if _, err := Table1SampleEfficiency(fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	after := telemetry.Snapshot()
+	fits := after.CounterDelta(before, "drdp_core_fits_total")
+	iters := after.CounterDelta(before, "drdp_core_em_iterations_total")
+	if fits <= 0 || iters < fits {
+		t.Errorf("implausible training footprint: %g fits, %g EM iterations", fits, iters)
+	}
+	hb, _ := after.Histogram("drdp_core_fit_seconds")
+	ha, _ := before.Histogram("drdp_core_fit_seconds")
+	if d := hb.Delta(ha); float64(d.Count) != fits {
+		t.Errorf("fit-seconds observations %d != fits %g", d.Count, fits)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/drdp/drdp/internal/dro"
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/model"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 func simConfig(t *testing.T, seed int64) Config {
@@ -251,5 +252,46 @@ func TestSimLossyDeterministic(t *testing.T) {
 		if a.Retries != b.Retries || a.Degraded != b.Degraded || a.TimeToModel != b.TimeToModel {
 			t.Fatalf("lossy run nondeterministic at device %d: %+v vs %+v", i, a, b)
 		}
+	}
+}
+
+// TestSimTelemetryMirrorsResult asserts that one simulation run adds
+// exactly its aggregate Result to the process-wide registry — the
+// simulator and a live fleet share the same observability surface.
+func TestSimTelemetryMirrorsResult(t *testing.T) {
+	cfg := simConfig(t, 216)
+	cfg.Retry = edge.RetryPolicy{MaxAttempts: 3, Base: 50 * time.Millisecond, Multiplier: 2}
+
+	before := telemetry.Snapshot()
+	res, err := Run(cfg, lossyFleet(2, 2, edge.Link3G, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := telemetry.Snapshot()
+
+	retries := 0
+	for _, d := range res.Devices {
+		retries += d.Retries
+	}
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{"drdp_sim_devices_total", len(res.Devices)},
+		{"drdp_sim_degraded_total", res.Degraded},
+		{"drdp_sim_reports_lost_total", res.ReportsLost},
+		{"drdp_sim_retries_total", retries},
+		{"drdp_sim_prior_rebuilds_total", res.Rebuilds},
+		{"drdp_sim_down_bytes_total", res.BytesDown},
+		{"drdp_sim_up_bytes_total", res.BytesUp},
+	} {
+		if got := after.CounterDelta(before, tc.name); got != float64(tc.want) {
+			t.Errorf("%s delta = %g, want %d (Result)", tc.name, got, tc.want)
+		}
+	}
+	// Real training ran inside the simulation, so the core instruments
+	// must have moved too.
+	if got := after.CounterDelta(before, "drdp_core_fits_total"); got != float64(len(res.Devices)) {
+		t.Errorf("core fits delta = %g, want %d", got, len(res.Devices))
 	}
 }

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured occurrence worth keeping for post-hoc
+// inspection: a breaker transition, a degradation decision, an EM fit
+// summary. Events complement metrics: metrics aggregate, events keep
+// the last few individual occurrences with their fields.
+type Event struct {
+	Time   time.Time
+	Layer  string // "core", "edge-client", "edge-server", "sim", ...
+	Kind   string // e.g. "breaker-transition", "fit-done"
+	Fields map[string]any
+}
+
+// EventLog is a bounded ring buffer of Events. Writes never block and
+// never allocate beyond the fields map the caller provides; once full,
+// the oldest event is overwritten. The zero value is unusable; use
+// NewEventLog.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+	total uint64
+}
+
+// NewEventLog returns a ring holding up to capacity events
+// (capacity < 1 is clamped to 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Events is the process-wide event ring the standard instrumentation
+// records into.
+var Events = NewEventLog(256)
+
+// Record appends an event. A zero Time is stamped with time.Now.
+func (e *EventLog) Record(ev Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	e.mu.Lock()
+	e.buf[e.next] = ev
+	e.next = (e.next + 1) % len(e.buf)
+	if e.count < len(e.buf) {
+		e.count++
+	}
+	e.total++
+	e.mu.Unlock()
+}
+
+// RecordKV is Record with inline key/value pairs: RecordKV("edge-client",
+// "breaker-transition", "from", "closed", "to", "open"). A trailing odd
+// key is dropped.
+func (e *EventLog) RecordKV(layer, kind string, kv ...any) {
+	var fields map[string]any
+	if len(kv) >= 2 {
+		fields = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			k, ok := kv[i].(string)
+			if !ok {
+				continue
+			}
+			fields[k] = kv[i+1]
+		}
+	}
+	e.Record(Event{Layer: layer, Kind: kind, Fields: fields})
+}
+
+// Recent returns up to n most-recent events, oldest first. n <= 0
+// returns all buffered events.
+func (e *EventLog) Recent(n int) []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 || n > e.count {
+		n = e.count
+	}
+	out := make([]Event, n)
+	start := e.next - n
+	if start < 0 {
+		start += len(e.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = e.buf[(start+i)%len(e.buf)]
+	}
+	return out
+}
+
+// Total returns how many events have ever been recorded (including
+// ones that have rotated out of the ring).
+func (e *EventLog) Total() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.total
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// The standard drdp instrument set. Everything registers against
+// Default at init so every process — cloud daemon, edge daemon, sim,
+// bench — exposes the complete metric vocabulary (at zero) from its
+// first scrape, rather than series popping into existence on first
+// use. Names follow drdp_<layer>_<name>_<unit>.
+//
+// Handles are package-level vars so hot paths (Observe in the round-trip
+// loop, Inc per retry) pay one atomic op, not a registry lookup.
+var (
+	// --- edge client (ResilientClient) -------------------------------
+	EdgeClientDials     = Default.Counter("drdp_edge_client_dials_total")
+	EdgeClientRetries   = Default.Counter("drdp_edge_client_retries_total")
+	EdgeClientFailures  = Default.Counter("drdp_edge_client_failures_total")
+	EdgeClientBackoff   = Default.Counter("drdp_edge_client_backoff_seconds_total")
+	EdgeClientSent      = Default.Counter("drdp_edge_client_sent_bytes_total")
+	EdgeClientReceived  = Default.Counter("drdp_edge_client_received_bytes_total")
+	EdgeClientRoundtrip = Default.Histogram("drdp_edge_client_roundtrip_seconds", nil)
+
+	// --- circuit breaker ---------------------------------------------
+	BreakerState      = Default.Gauge("drdp_edge_breaker_state")
+	BreakerToClosed   = Default.Counter("drdp_edge_breaker_transitions_total", L("to", "closed"))
+	BreakerToOpen     = Default.Counter("drdp_edge_breaker_transitions_total", L("to", "open"))
+	BreakerToHalfOpen = Default.Counter("drdp_edge_breaker_transitions_total", L("to", "half-open"))
+
+	// --- prior cache --------------------------------------------------
+	CacheHits   = Default.Counter("drdp_edge_cache_hits_total")
+	CacheMisses = Default.Counter("drdp_edge_cache_misses_total")
+	CacheStale  = Default.Counter("drdp_edge_cache_stale_total")
+
+	// --- device degradation ladder -----------------------------------
+	DeviceRoundsFresh  = Default.Counter("drdp_edge_device_rounds_total", L("prior", "fresh-prior"))
+	DeviceRoundsCached = Default.Counter("drdp_edge_device_rounds_total", L("prior", "cached-prior"))
+	DeviceRoundsLocal  = Default.Counter("drdp_edge_device_rounds_total", L("prior", "local-only"))
+	DeviceFetchErrors  = Default.Counter("drdp_edge_device_fetch_errors_total")
+	DeviceReportErrors = Default.Counter("drdp_edge_device_report_errors_total")
+
+	// --- edge server (CloudServer) -----------------------------------
+	ServerConnsActive    = Default.Gauge("drdp_edge_server_connections_active")
+	ServerConnsTotal     = Default.Counter("drdp_edge_server_connections_total")
+	ServerReqGetPrior    = Default.Counter("drdp_edge_server_requests_total", L("kind", "get-prior"))
+	ServerReqReportTask  = Default.Counter("drdp_edge_server_requests_total", L("kind", "report-task"))
+	ServerReqGetStats    = Default.Counter("drdp_edge_server_requests_total", L("kind", "get-stats"))
+	ServerReqOther       = Default.Counter("drdp_edge_server_requests_total", L("kind", "other"))
+	ServerRequestSeconds = Default.Histogram("drdp_edge_server_request_seconds", nil)
+	ServerPanics         = Default.Counter("drdp_edge_server_panics_total")
+	ServerDecodeErrors   = Default.Counter("drdp_edge_server_decode_errors_total")
+	ServerSent           = Default.Counter("drdp_edge_server_sent_bytes_total")
+	ServerReceived       = Default.Counter("drdp_edge_server_received_bytes_total")
+	ServerTasks          = Default.Gauge("drdp_edge_server_tasks")
+	ServerPriorVersion   = Default.Gauge("drdp_edge_server_prior_version")
+	ServerRebuilds       = Default.Counter("drdp_edge_server_prior_rebuilds_total")
+
+	// --- training core ------------------------------------------------
+	CoreFits           = Default.Counter("drdp_core_fits_total")
+	CoreFitSeconds     = Default.Histogram("drdp_core_fit_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60})
+	CoreEMIterations   = Default.Counter("drdp_core_em_iterations_total")
+	CoreMStepIters     = Default.Counter("drdp_core_mstep_iterations_total")
+	CoreObjective      = Default.Gauge("drdp_core_em_objective")
+	CoreObjectiveDelta = Default.Gauge("drdp_core_em_objective_delta")
+	CoreGradNorm       = Default.Gauge("drdp_core_em_grad_norm")
+
+	// --- fleet simulator ----------------------------------------------
+	SimDevices     = Default.Counter("drdp_sim_devices_total")
+	SimDegraded    = Default.Counter("drdp_sim_degraded_total")
+	SimReportsLost = Default.Counter("drdp_sim_reports_lost_total")
+	SimRetries     = Default.Counter("drdp_sim_retries_total")
+	SimRebuilds    = Default.Counter("drdp_sim_prior_rebuilds_total")
+	SimBytesDown   = Default.Counter("drdp_sim_down_bytes_total")
+	SimBytesUp     = Default.Counter("drdp_sim_up_bytes_total")
+)
+
+// ServerReqCounter maps a protocol request-kind name (RequestKind
+// .String()) to its counter; unknown kinds land in the "other" series.
+func ServerReqCounter(kind string) *Counter {
+	switch kind {
+	case "get-prior":
+		return ServerReqGetPrior
+	case "report-task":
+		return ServerReqReportTask
+	case "get-stats":
+		return ServerReqGetStats
+	default:
+		return ServerReqOther
+	}
+}
+
+// DeviceRoundCounter maps a Degradation name (Degradation.String()) to
+// its rounds counter; unknown levels count as local-only.
+func DeviceRoundCounter(level string) *Counter {
+	switch level {
+	case "fresh-prior":
+		return DeviceRoundsFresh
+	case "cached-prior":
+		return DeviceRoundsCached
+	default:
+		return DeviceRoundsLocal
+	}
+}
+
+// BreakerTransitionCounter maps a BreakerState name (BreakerState
+// .String()) to the transitions-into-that-state counter.
+func BreakerTransitionCounter(to string) *Counter {
+	switch to {
+	case "open":
+		return BreakerToOpen
+	case "half-open":
+		return BreakerToHalfOpen
+	default:
+		return BreakerToClosed
+	}
+}
+
+// emTrace guards the per-iteration objective-trace gauges
+// (drdp_core_em_objective_iter{iter="i"}). Successive fits may have
+// different lengths; stale entries from a longer previous fit are
+// overwritten with NaN so a scrape never mixes two traces.
+var emTrace struct {
+	mu      sync.Mutex
+	maxIter int
+}
+
+// SetEMTrace publishes the winning EM run's objective trace as one
+// gauge per iteration, clearing any leftover iterations from a longer
+// earlier trace.
+func SetEMTrace(trace []float64) {
+	emTrace.mu.Lock()
+	defer emTrace.mu.Unlock()
+	for i, v := range trace {
+		Default.Gauge("drdp_core_em_objective_iter", L("iter", strconv.Itoa(i))).Set(v)
+	}
+	for i := len(trace); i < emTrace.maxIter; i++ {
+		Default.Gauge("drdp_core_em_objective_iter", L("iter", strconv.Itoa(i))).Set(math.NaN())
+	}
+	if len(trace) > emTrace.maxIter {
+		emTrace.maxIter = len(trace)
+	}
+}
+
+func init() {
+	// Pre-create iteration 0 so the family (and its TYPE line) exists
+	// before any fit runs.
+	Default.Gauge("drdp_core_em_objective_iter", L("iter", "0")).Set(math.NaN())
+
+	for name, help := range map[string]string{
+		"drdp_edge_client_dials_total":           "TCP dials attempted by ResilientClient (includes redials).",
+		"drdp_edge_client_retries_total":         "Round trips re-attempted after a transport fault.",
+		"drdp_edge_client_failures_total":        "Round-trip attempts that ended in a transport fault.",
+		"drdp_edge_client_backoff_seconds_total": "Total time slept in retry backoff.",
+		"drdp_edge_client_sent_bytes_total":      "Bytes written to the cloud connection by the client.",
+		"drdp_edge_client_received_bytes_total":  "Bytes read from the cloud connection by the client.",
+		"drdp_edge_client_roundtrip_seconds":     "Latency of successful client round trips (dial excluded, retries included).",
+		"drdp_edge_breaker_state":                "Circuit breaker state: 0=closed, 1=open, 2=half-open.",
+		"drdp_edge_breaker_transitions_total":    "Circuit breaker transitions into each state.",
+		"drdp_edge_cache_hits_total":             "Prior fetches answered by the cache (server said not-modified).",
+		"drdp_edge_cache_misses_total":           "Prior fetches that had to pull a full prior with a cold or outdated cache.",
+		"drdp_edge_cache_stale_total":            "Rounds served a stale cached prior because the cloud was unreachable.",
+		"drdp_edge_device_rounds_total":          "Device training rounds by prior degradation level.",
+		"drdp_edge_device_fetch_errors_total":    "Device rounds whose prior fetch errored (before degradation).",
+		"drdp_edge_device_report_errors_total":   "Device rounds whose posterior report failed.",
+		"drdp_edge_server_connections_active":    "Currently open client connections.",
+		"drdp_edge_server_connections_total":     "Client connections accepted since start.",
+		"drdp_edge_server_requests_total":        "Requests handled, by protocol kind.",
+		"drdp_edge_server_request_seconds":       "Server-side request handling latency.",
+		"drdp_edge_server_panics_total":          "Handler panics recovered (connection dropped).",
+		"drdp_edge_server_decode_errors_total":   "Malformed or oversized request frames.",
+		"drdp_edge_server_sent_bytes_total":      "Bytes written to clients.",
+		"drdp_edge_server_received_bytes_total":  "Bytes read from clients.",
+		"drdp_edge_server_tasks":                 "Task posteriors currently incorporated in the prior pool.",
+		"drdp_edge_server_prior_version":         "Version of the most recently built prior.",
+		"drdp_edge_server_prior_rebuilds_total":  "DP prior rebuilds triggered by stale reads.",
+		"drdp_core_fits_total":                   "Learner.Fit calls completed.",
+		"drdp_core_fit_seconds":                  "Wall time of Learner.Fit.",
+		"drdp_core_em_iterations_total":          "EM iterations across all fits (all starts).",
+		"drdp_core_mstep_iterations_total":       "Inner M-step solver iterations across all fits.",
+		"drdp_core_em_objective":                 "Final objective of the last completed fit.",
+		"drdp_core_em_objective_delta":           "Objective change in the last EM iteration of the last fit.",
+		"drdp_core_em_grad_norm":                 "Gradient norm reported by the last M-step solve.",
+		"drdp_core_em_objective_iter":            "Objective per EM iteration of the last fit's winning start (NaN = beyond trace).",
+		"drdp_sim_devices_total":                 "Simulated device rounds completed.",
+		"drdp_sim_degraded_total":                "Simulated rounds that trained without a fresh prior.",
+		"drdp_sim_reports_lost_total":            "Simulated posterior reports lost to the link.",
+		"drdp_sim_retries_total":                 "Simulated transfer retries.",
+		"drdp_sim_prior_rebuilds_total":          "Simulated cloud prior rebuilds.",
+		"drdp_sim_down_bytes_total":              "Simulated bytes shipped cloud-to-edge.",
+		"drdp_sim_up_bytes_total":                "Simulated bytes shipped edge-to-cloud.",
+	} {
+		Default.SetHelp(name, help)
+	}
+}

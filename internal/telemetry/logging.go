@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// discardHandler is a slog.Handler that drops everything. (The stdlib
+// gained slog.DiscardHandler in a later release than this module's
+// language version, so we carry our own.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var discardLogger = slog.New(discardHandler{})
+
+// Discard returns a logger that drops all records — the quiet opt-in
+// for embedders (and tests) that do not want transport noise.
+func Discard() *slog.Logger { return discardLogger }
+
+var (
+	defaultOnce   sync.Once
+	defaultLogger *slog.Logger
+)
+
+// DefaultLogger returns the fallback logger used when a component is
+// handed a nil *slog.Logger: text format on stderr, WARN level — so
+// real failures (panics, decode errors, redials) are visible by
+// default without making healthy operation chatty.
+func DefaultLogger() *slog.Logger {
+	defaultOnce.Do(func() {
+		defaultLogger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+			Level: slog.LevelWarn,
+		}))
+	})
+	return defaultLogger
+}
+
+// NewLogger builds a text logger on stderr at the given level, for
+// daemons that want chattier output (e.g. Info) than DefaultLogger.
+func NewLogger(level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+}
+
+// OrDefault resolves the logger components should use: l itself when
+// non-nil, else DefaultLogger.
+func OrDefault(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return DefaultLogger()
+}
