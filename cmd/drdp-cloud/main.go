@@ -5,12 +5,22 @@
 // Usage:
 //
 //	drdp-cloud -addr :7600 -alpha 1
+//	drdp-cloud -addr :7600 -data-dir /var/lib/drdp   # durable task store
 //	drdp-cloud -addr :7600 -seed-tasks 8 -dim 20   # pre-warm with synthetic tasks
 //	drdp-cloud -addr :7600 -telemetry-addr :9090   # + /metrics, expvar, pprof
+//
+// With -data-dir every reported task is appended to a crash-safe log
+// before it is acknowledged, and a restart recovers the exact task set
+// and prior version the previous process was serving. Seed tasks apply
+// only to an empty store, so restarting a pre-warmed cloud never
+// duplicates them.
 //
 // Pre-warming simulates a cloud that already solved a family of tasks,
 // so fresh edges get a useful prior immediately (otherwise the first
 // devices train locally and report back, bootstrapping the prior).
+//
+// SIGINT/SIGTERM shut down cleanly: the listener closes, in-flight
+// requests drain, and the store is synced before the process exits 0.
 package main
 
 import (
@@ -18,6 +28,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/drdp/drdp/internal/baseline"
 	"github.com/drdp/drdp/internal/data"
@@ -25,6 +37,7 @@ import (
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
 )
 
@@ -44,6 +57,9 @@ func run() error {
 		dim       = flag.Int("dim", 20, "feature dimensionality of synthetic seed tasks")
 		clusters  = flag.Int("clusters", 4, "task-family clusters for seed tasks")
 		seed      = flag.Int64("seed", 1, "random seed")
+		dataDir   = flag.String("data-dir", "", "durable task store directory (empty = in-memory, lost on exit)")
+		snapEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "compact the task log into a snapshot after this many appends (negative = never)")
+		noSync    = flag.Bool("no-sync", false, "skip fsync after appends (faster, loses acknowledged tasks on power failure)")
 		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "only log warnings and errors")
 	)
@@ -76,14 +92,47 @@ func run() error {
 		}
 	}
 
-	srv, err := edge.NewCloudServer(seedPosteriors, dpprior.BuildOptions{
+	st, err := store.Open(store.Options{
+		Dir:           *dataDir,
+		SnapshotEvery: *snapEvery,
+		NoSync:        *noSync,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		ri := st.Recovery()
+		logger.Info("task store opened", "dir", *dataDir,
+			"tasks", st.Len(), "version", st.Version(),
+			"snapshot_tasks", ri.SnapshotTasks, "log_records", ri.LogRecords,
+			"skipped_records", ri.SkippedRecords, "truncated_bytes", ri.TruncatedBytes)
+		if st.Version() > 0 && *seedTasks > 0 {
+			logger.Info("store already populated; seed tasks not applied")
+		}
+	}
+
+	srv, err := edge.NewCloudServerWithStore(st, seedPosteriors, dpprior.BuildOptions{
 		Alpha:         *alpha,
 		MaxComponents: *trunc,
 		Seed:          *seed,
 	}, logger)
 	if err != nil {
+		st.Close()
 		return err
 	}
+
+	// A signal shuts down in order: stop accepting, drain handlers, stop
+	// the rebuild worker, sync and close the store — then exit 0.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Info("shutting down", "signal", sig.String())
+		if err := srv.Close(); err != nil {
+			logger.Error("shutdown error", "err", err)
+		}
+	}()
 
 	addrCh := make(chan string, 1)
 	go func() {

@@ -22,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/drdp/drdp/internal/data"
@@ -138,7 +141,27 @@ func run() error {
 		}
 		client := edge.DialResilient(*cloud, ropts)
 		defer client.Close()
+		// A signal mid-round closes the cloud connection (unblocking any
+		// in-flight round trip) and exits cleanly: an interrupted edge run
+		// is a normal event in the field, not a failure.
+		var interrupted atomic.Bool
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		go func() {
+			sig, ok := <-sigCh
+			if !ok {
+				return
+			}
+			interrupted.Store(true)
+			fmt.Fprintf(os.Stderr, "drdp-edge: %s: closing cloud connection\n", sig)
+			client.Close()
+			os.Exit(0)
+		}()
 		result, status, err := dev.RunWithStatus(client, train.X, train.Y, *report)
+		if interrupted.Load() {
+			return nil
+		}
 		if err != nil {
 			return err
 		}

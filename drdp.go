@@ -41,6 +41,7 @@ import (
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
 	"github.com/drdp/drdp/internal/stat"
+	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
 )
 
@@ -168,6 +169,9 @@ type (
 	PriorBuildOptions = dpprior.BuildOptions
 	// CompressionLevel selects covariance compression for the wire prior.
 	CompressionLevel = dpprior.CompressionLevel
+	// PriorDelta is a component-level patch between two prior versions,
+	// the unit of incremental cloud→edge synchronization.
+	PriorDelta = dpprior.PriorDelta
 )
 
 // Prior compression levels for constrained uplinks.
@@ -190,6 +194,9 @@ var (
 	BuildPriorDPMeans = dpprior.BuildDPMeans
 	// CompilePrior validates and factorizes a prior for training.
 	CompilePrior = dpprior.Compile
+	// DiffPriors computes the component-level delta that rewrites an old
+	// prior into a new one (never fails; degenerates to a full payload).
+	DiffPriors = dpprior.Diff
 	// DecodePrior reads a prior from a stream.
 	DecodePrior = dpprior.Decode
 	// SelectAlpha chooses the DP concentration by empirical Bayes.
@@ -298,9 +305,31 @@ const (
 	DegradedLocal = edge.DegradedLocal
 )
 
+// Durable task store: crash-safe persistence for the cloud server's
+// reported tasks (append-only log + snapshot compaction).
+type (
+	// TaskStore is the crash-safe task log backing a CloudServer.
+	TaskStore = store.Store
+	// StoreOptions configures OpenStore.
+	StoreOptions = store.Options
+	// StoreRecoveryInfo reports what OpenStore found (and repaired) on disk.
+	StoreRecoveryInfo = store.RecoveryInfo
+)
+
+var (
+	// OpenStore opens (or creates) a durable task store; an empty Dir
+	// yields a volatile in-memory store.
+	OpenStore = store.Open
+	// ErrStoreClosed reports use of a closed task store.
+	ErrStoreClosed = store.ErrClosed
+)
+
 var (
 	// NewCloudServer creates a prior server.
 	NewCloudServer = edge.NewCloudServer
+	// NewCloudServerWithStore creates a prior server on an existing task
+	// store, recovering the task set and prior version it holds.
+	NewCloudServerWithStore = edge.NewCloudServerWithStore
 	// DialCloud connects an edge client.
 	DialCloud = edge.Dial
 	// DialResilient creates a lazy-dialing self-healing edge client.

@@ -10,6 +10,12 @@
 // a total outage, where training degrades to the cached prior instead
 // of failing.
 //
+// Phase 4 makes the cloud itself durable: tasks land in a crash-safe
+// on-disk store, the server is killed and restarted recovering the
+// exact task set and prior version, and a device that kept its
+// pre-crash prior resynchronizes with a component-level delta instead
+// of re-downloading the full prior.
+//
 //	go run ./examples/distributed
 package main
 
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"github.com/drdp/drdp"
@@ -128,7 +135,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	faults := &drdp.FaultConfig{Seed: 99, DropWrite: 0.2, Reset: 0.1}
+	faults := &drdp.FaultConfig{Seed: 41, DropWrite: 0.2, Reset: 0.1}
 	retry := drdp.DefaultRetryPolicy
 	retry.MaxAttempts = 8
 	retry.Base = 20 * time.Millisecond
@@ -206,6 +213,121 @@ func run() error {
 		status.Degradation, status.PriorVersion,
 		drdp.Accuracy(m, res.Params, test.X, test.Y))
 
+	// Phase 4: a durable cloud. Tasks are appended to a crash-safe store
+	// before they are acknowledged; killing and restarting the server
+	// recovers the exact task set and prior version, and a device holding
+	// the pre-crash prior resyncs with a component-level delta.
+	fmt.Println("\nphase 4: durable cloud — crash, recover, delta resync")
+	dataDir, err := os.MkdirTemp("", "drdp-distributed")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	startDurable := func() (*drdp.CloudServer, *drdp.TaskStore, string, error) {
+		st, err := drdp.OpenStore(drdp.StoreOptions{Dir: dataDir, NoSync: true})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		dsrv, err := drdp.NewCloudServerWithStore(st, nil,
+			drdp.PriorBuildOptions{Alpha: 1, Seed: 5}, nil)
+		if err != nil {
+			st.Close()
+			return nil, nil, "", err
+		}
+		ch := make(chan string, 1)
+		go func() {
+			if err := dsrv.ListenAndServe("127.0.0.1:0", ch); err != nil {
+				log.Printf("durable server: %v", err)
+			}
+		}()
+		return dsrv, st, <-ch, nil
+	}
+	reportOne := func(addr string, cluster int) error {
+		t := family.SampleTask(rng, cluster)
+		t.Flip = 0.05
+		tr := t.Sample(rng, 300)
+		params, err := drdp.Ridge{Model: m, Lambda: 1e-3}.Train(tr.X, tr.Y)
+		if err != nil {
+			return err
+		}
+		cov, err := drdp.LaplacePosterior(m, params, tr.X, tr.Y, 1e-3)
+		if err != nil {
+			return err
+		}
+		cl, err := drdp.DialCloud(addr, 3*time.Second)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		_, err = cl.ReportTask(drdp.TaskPosterior{Mu: params, Sigma: cov, N: tr.Len()})
+		return err
+	}
+
+	dsrv, dst, daddr, err := startDurable()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if err := reportOne(daddr, i%2); err != nil {
+			dsrv.Close()
+			dst.Close()
+			return fmt.Errorf("durable report %d: %w", i, err)
+		}
+	}
+	dsrv.WaitCaughtUp() // reads below must see every append
+	cl, err := drdp.DialCloud(daddr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	prior, v1, err := cl.FetchPrior(m.NumParams())
+	cl.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  cloud holds %d tasks; prior v%d has %d components (%d B full)\n",
+		dst.Len(), v1, len(prior.Components), prior.WireSize())
+
+	// Kill the cloud. The acknowledged tasks are already on disk.
+	dsrv.Close()
+	dst.Close()
+	fmt.Println("  cloud process killed")
+
+	dsrv, dst, daddr, err = startDurable()
+	if err != nil {
+		return err
+	}
+	defer func() { dsrv.Close(); dst.Close() }()
+	fmt.Printf("  restarted: recovered %d tasks at version %d\n", dst.Len(), dst.Version())
+
+	// One more report moves the prior forward; the device that kept the
+	// pre-crash prior asks for just the difference.
+	if err := reportOne(daddr, 1); err != nil {
+		return err
+	}
+	dsrv.WaitCaughtUp()
+	before := drdp.TelemetrySnapshot()
+	cl, err = drdp.DialCloud(daddr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	patched, v2, err := cl.FetchPriorDelta(m.NumParams(), v1, prior)
+	cl.Close()
+	if err != nil {
+		return err
+	}
+	after := drdp.TelemetrySnapshot()
+	saved := after.Counter("drdp_edge_server_delta_saved_bytes_total") -
+		before.Counter("drdp_edge_server_delta_saved_bytes_total")
+	if deltas := after.Counter("drdp_edge_server_prior_responses_total", drdp.L("kind", "delta")) -
+		before.Counter("drdp_edge_server_prior_responses_total", drdp.L("kind", "delta")); deltas > 0 {
+		fmt.Printf("  delta resync v%d→v%d: %d components, full prior %d B, delta saved %.0f B\n",
+			v1, v2, len(patched.Components), patched.WireSize(), saved)
+	} else {
+		fmt.Printf("  resync v%d→v%d shipped the full prior (%d B): every component changed\n",
+			v1, v2, patched.WireSize())
+	}
+
 	// Observability: everything above also reported into the process-wide
 	// metric registry — the same numbers a deployed fleet would scrape
 	// from /metrics (drdp.ServeTelemetry) are available in-process.
@@ -225,6 +347,12 @@ func run() error {
 		snap.Counter("drdp_edge_server_connections_total"),
 		snap.Counter("drdp_edge_server_requests_total", drdp.L("kind", "get-prior")),
 		snap.Counter("drdp_edge_server_requests_total", drdp.L("kind", "report-task")))
+	fmt.Printf("  store: %.0f appends, %.0f log repairs; prior sync: %.0f full, %.0f delta, %.0f B saved\n",
+		snap.Counter("drdp_store_appends_total"),
+		snap.Counter("drdp_store_recoveries_total"),
+		snap.Counter("drdp_edge_server_prior_responses_total", drdp.L("kind", "full")),
+		snap.Counter("drdp_edge_server_prior_responses_total", drdp.L("kind", "delta")),
+		snap.Counter("drdp_edge_server_delta_saved_bytes_total"))
 	if h, ok := snap.Histogram("drdp_edge_client_roundtrip_seconds"); ok && h.Count > 0 {
 		fmt.Printf("  round trip: p50 %.1fms, p99 %.1fms over %d round trips\n",
 			h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3, h.Count)

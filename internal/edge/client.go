@@ -2,11 +2,13 @@ package edge
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Client is an edge device's connection to the cloud prior server. It is
@@ -77,6 +79,36 @@ func priorOf(resp *Response, conditional bool) (*dpprior.Prior, uint64, error) {
 	return resp.Prior, resp.Version, nil
 }
 
+// errDeltaApply marks a delta that did not patch cleanly onto the base
+// prior the client holds (diverged cache, corrupt delta). The caller
+// recovers by fetching the full prior; test with errors.Is.
+var errDeltaApply = errors.New("edge: prior delta did not apply")
+
+// deltaPriorOf interprets a GetPriorDelta response. The server answers
+// one of three ways and all are normal: NotModified (nil prior,
+// unchanged version), a component delta (patched onto old here), or a
+// full prior (the server's fallback when the client's version left its
+// history or the delta wouldn't save bytes). A delta that fails to
+// apply is reported as errDeltaApply so callers can refetch in full.
+func deltaPriorOf(resp *Response, old *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	if resp.NotModified {
+		return nil, resp.Version, nil
+	}
+	if resp.Delta != nil {
+		p, err := resp.Delta.Apply(old)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", errDeltaApply, err)
+		}
+		telemetry.EdgeClientDeltasApplied.Inc()
+		return p, resp.Version, nil
+	}
+	p, v, err := priorOf(resp, false)
+	if err == nil {
+		telemetry.EdgeClientFullPriors.Inc()
+	}
+	return p, v, err
+}
+
 // FetchPrior downloads the current prior for the given parameter
 // dimensionality (pass 0 to skip the dimension check) and validates it.
 func (c *Client) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
@@ -97,6 +129,21 @@ func (c *Client) FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior
 		return nil, 0, err
 	}
 	return priorOf(resp, true)
+}
+
+// FetchPriorDelta refreshes a prior the client already holds: it sends
+// the held version and patches the returned component delta onto old,
+// so an incremental cloud update costs a delta instead of the full
+// prior (covariances dominate the wire; unchanged components don't
+// ship). Returns (nil, version, nil) when the held version is current,
+// and transparently accepts a full prior when the server decided a
+// delta wasn't worthwhile. old must be the prior at knownVersion.
+func (c *Client) FetchPriorDelta(dim int, knownVersion uint64, old *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	resp, err := c.roundTrip(&Request{Kind: GetPriorDelta, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return deltaPriorOf(resp, old)
 }
 
 // ReportTask uploads a solved task posterior; the cloud folds it into

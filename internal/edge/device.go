@@ -18,6 +18,11 @@ import (
 type Cloud interface {
 	FetchPrior(dim int) (*dpprior.Prior, uint64, error)
 	FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior, uint64, error)
+	// FetchPriorDelta refreshes a held prior by version: the server
+	// answers NotModified, a component delta (patched onto old before
+	// returning), or a full prior when a delta isn't possible or
+	// worthwhile. A device with a warm cache refreshes through this.
+	FetchPriorDelta(dim int, knownVersion uint64, old *dpprior.Prior) (*dpprior.Prior, uint64, error)
 	ReportTask(t dpprior.TaskPosterior) (uint64, error)
 }
 
@@ -133,12 +138,19 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 	var prior *dpprior.Prior
 	var version uint64
 	var err error
-	if known := d.Cache.Version(); known > 0 {
-		prior, version, err = c.FetchPriorIfNewer(dim, known)
+	if cached, known, ok := d.Cache.Get(); ok {
+		// Warm cache: refresh by delta — NotModified costs a handshake,
+		// an incremental rebuild costs a component delta, and the server
+		// falls back to the full prior on its own when that is cheaper.
+		prior, version, err = c.FetchPriorDelta(dim, known, cached)
+		if errors.Is(err, errDeltaApply) {
+			// The patch didn't take (diverged cache, corrupt delta); a
+			// full fetch recovers where repeating the delta cannot.
+			prior, version, err = c.FetchPrior(dim)
+		}
 		if err == nil && prior == nil {
 			// NotModified: the cached copy IS the current prior.
 			telemetry.CacheHits.Inc()
-			cached, _, _ := d.Cache.Get()
 			st.PriorVersion = known
 			return cached, st, nil
 		}

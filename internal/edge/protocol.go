@@ -6,10 +6,16 @@
 //
 // The protocol is length-free gob framing over TCP: each connection runs
 // a sequence of (Request, Response) gob values. It is deliberately small —
-// two RPCs carry the entire knowledge-transfer loop of the paper:
+// three RPCs carry the entire knowledge-transfer loop of the paper:
 //
-//	GetPrior:   edge  → cloud   "give me the current prior for dim d"
-//	ReportTask: edge  → cloud   "here is my solved task's posterior"
+//	GetPrior:      edge  → cloud   "give me the current prior for dim d"
+//	GetPriorDelta: edge  → cloud   "I hold version v; send me what changed"
+//	ReportTask:    edge  → cloud   "here is my solved task's posterior"
+//
+// The server persists reported tasks in an append-only store
+// (internal/store) and rebuilds the prior in a background worker, so
+// GetPrior answers from the last built prior without waiting behind a
+// rebuild, and a restart recovers the exact task set and prior version.
 //
 // # Failure model
 //
@@ -57,6 +63,13 @@ const (
 	ReportTask
 	// GetStats asks for cloud-side counters (task count, prior version).
 	GetStats
+	// GetPriorDelta asks for the difference between the prior at
+	// KnownVersion (which the client holds) and the current prior. The
+	// server answers with a component-level delta when it still retains
+	// that version and the delta beats the full prior on the wire;
+	// otherwise it falls back to the full prior. NotModified when the
+	// client is already current.
+	GetPriorDelta
 )
 
 // String names the request kind.
@@ -68,6 +81,8 @@ func (k RequestKind) String() string {
 		return "report-task"
 	case GetStats:
 		return "get-stats"
+	case GetPriorDelta:
+		return "get-prior-delta"
 	default:
 		return fmt.Sprintf("RequestKind(%d)", int(k))
 	}
@@ -79,9 +94,12 @@ type Request struct {
 	// Dim is the parameter dimensionality the edge expects (GetPrior);
 	// the server rejects mismatches instead of shipping a useless prior.
 	Dim int
-	// KnownVersion enables conditional fetch (GetPrior): when the cloud's
-	// prior version still equals it, the server answers NotModified with
-	// no payload — the refresh costs a handshake instead of the prior.
+	// KnownVersion enables conditional fetch (GetPrior) and delta sync
+	// (GetPriorDelta): it names the prior version the client already
+	// holds. When the cloud's prior version still equals it, the server
+	// answers NotModified with no payload — the refresh costs a handshake
+	// instead of the prior. For GetPriorDelta it is additionally the base
+	// version the returned delta patches.
 	KnownVersion uint64
 	// Task carries the uploaded posterior for ReportTask.
 	Task *dpprior.TaskPosterior
@@ -110,9 +128,13 @@ const (
 // (gob cannot carry error values faithfully across processes); Code
 // classifies it.
 type Response struct {
-	Err     string
-	Code    RespCode
-	Prior   *dpprior.Prior
+	Err   string
+	Code  RespCode
+	Prior *dpprior.Prior
+	// Delta, for GetPriorDelta, patches the prior at Request.KnownVersion
+	// up to Version; exactly one of Prior/Delta is set on a successful
+	// prior response with a payload.
+	Delta   *dpprior.PriorDelta
 	Stats   Stats
 	Version uint64 // prior version at the time of the response
 	// NotModified reports that the client's KnownVersion is current and

@@ -242,6 +242,18 @@ func (r *ResilientClient) FetchPriorIfNewer(dim int, knownVersion uint64) (*dppr
 	return priorOf(resp, true)
 }
 
+// FetchPriorDelta is the delta refresh, retrying transport faults. See
+// Client.FetchPriorDelta. A delta that fails to apply is returned as-is
+// (not retried): the transport worked, and the caller's full fetch is
+// the recovery path.
+func (r *ResilientClient) FetchPriorDelta(dim int, knownVersion uint64, old *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	resp, err := r.do(&Request{Kind: GetPriorDelta, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return deltaPriorOf(resp, old)
+}
+
 // ReportTask uploads a solved task posterior, retrying transport faults.
 // Retries are safe: AddTask is idempotent per upload only in effect —
 // a duplicate upload after an ambiguous failure adds a duplicate task,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
 )
 
@@ -22,14 +23,30 @@ const (
 	// DefaultIdleTimeout is how long a connection may sit idle between
 	// requests before the server reclaims its handler goroutine.
 	DefaultIdleTimeout = 2 * time.Minute
+	// deltaHistory is how many built priors the server retains for delta
+	// synchronization; clients further behind fall back to a full fetch.
+	deltaHistory = 8
 )
 
-// CloudServer accumulates task posteriors and serves the DP prior built
-// from them. It is safe for concurrent connections; the prior is rebuilt
-// lazily, at most once per version of the task set.
+// CloudServer accumulates task posteriors in a durable store and serves
+// the DP prior built from them. It is safe for concurrent connections.
+//
+// Serving is decoupled from building: AddTask appends to the store and
+// signals a background rebuild worker, and GetPrior always answers from
+// the last built prior — a request never waits behind a Gibbs rebuild,
+// and an AddTask burst coalesces into however many rebuilds the worker
+// can actually run. The version clients see is therefore always the
+// version of the prior they were served (the built version), which
+// trails the store version while a rebuild is in flight.
+//
+// Recent built priors are retained so GetPriorDelta can answer with the
+// component-level difference against the version a client already
+// holds instead of the full prior.
 type CloudServer struct {
 	opts   dpprior.BuildOptions
 	logger *slog.Logger
+	st     *store.Store
+	ownSt  bool // close the store with the server
 
 	// MaxFrameBytes caps the size of one request frame (default
 	// DefaultMaxFrameBytes; set before Serve, negative = unlimited).
@@ -38,11 +55,24 @@ type CloudServer struct {
 	// (default DefaultIdleTimeout; set before Serve, negative = none).
 	IdleTimeout time.Duration
 
-	mu      sync.Mutex
-	tasks   []dpprior.TaskPosterior
-	prior   *dpprior.Prior
-	version uint64 // bumped on every task-set change
-	built   uint64 // version the cached prior corresponds to
+	// mu serializes task validation + append (the store itself is safe,
+	// but dimension checks must be atomic with the append they guard).
+	mu sync.Mutex
+
+	// priorMu guards the served prior, its version and the history ring.
+	priorMu   sync.Mutex
+	prior     *dpprior.Prior
+	built     uint64 // store version the served prior corresponds to
+	history   map[uint64]*dpprior.Prior
+	histOrder []uint64
+	builtCond *sync.Cond // broadcast whenever built advances or the server closes
+
+	// buildMu serializes cold-start synchronous builds.
+	buildMu sync.Mutex
+
+	rebuildCh chan struct{} // capacity 1: pending-rebuild signal
+	stopCh    chan struct{}
+	workerWg  sync.WaitGroup
 
 	lnMu   sync.Mutex
 	ln     net.Listener
@@ -53,36 +83,71 @@ type CloudServer struct {
 	// panicHook, when set, runs before dispatch — test seam for the
 	// per-connection panic recovery.
 	panicHook func(*Request)
+	// buildHook, when set, runs at the start of every background rebuild
+	// — test seam for asserting non-blocking serving during a rebuild.
+	// Guarded by priorMu so tests can install it on a live server.
+	buildHook func(version uint64)
 }
 
-// NewCloudServer creates a server with the given prior-construction
-// options. Seed tasks may be nil. A nil logger picks the default
-// handler (stderr, WARN level) so panics and decode errors are visible
-// by default; pass telemetry.Discard() to silence.
+// NewCloudServer creates a server backed by an in-memory (non-durable)
+// store. Seed tasks may be nil. A nil logger picks the default handler
+// (stderr, WARN level) so panics and decode errors are visible by
+// default; pass telemetry.Discard() to silence.
 func NewCloudServer(seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, logger *slog.Logger) (*CloudServer, error) {
+	st, err := store.Open(store.Options{Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	return NewCloudServerWithStore(st, seed, opts, logger)
+}
+
+// NewCloudServerWithStore creates a server on an opened store — the
+// durable path: tasks the store recovered are served immediately, and
+// every reported task is appended before it is acknowledged. The server
+// owns the store from here on: Close syncs and closes it. Seed tasks
+// are appended only when the store is empty, so re-seeding a recovered
+// store never duplicates tasks.
+func NewCloudServerWithStore(st *store.Store, seed []dpprior.TaskPosterior, opts dpprior.BuildOptions, logger *slog.Logger) (*CloudServer, error) {
 	if opts.Alpha <= 0 {
 		return nil, fmt.Errorf("edge: NewCloudServer: alpha %g must be positive", opts.Alpha)
+	}
+	if st == nil {
+		return nil, errors.New("edge: NewCloudServerWithStore: nil store")
 	}
 	logger = telemetry.OrDefault(logger)
 	s := &CloudServer{
 		opts:          opts,
 		logger:        logger,
+		st:            st,
+		ownSt:         true,
 		MaxFrameBytes: DefaultMaxFrameBytes,
 		IdleTimeout:   DefaultIdleTimeout,
+		history:       make(map[uint64]*dpprior.Prior, deltaHistory),
+		rebuildCh:     make(chan struct{}, 1),
+		stopCh:        make(chan struct{}),
 	}
-	s.tasks = append(s.tasks, seed...)
-	if len(s.tasks) > 0 {
-		s.version = 1
+	s.builtCond = sync.NewCond(&s.priorMu)
+	if st.Version() == 0 {
+		for i, t := range seed {
+			if _, err := s.appendTask(t); err != nil {
+				return nil, fmt.Errorf("edge: seed task %d: %w", i, err)
+			}
+		}
 	}
-	telemetry.ServerTasks.Set(float64(len(s.tasks)))
-	telemetry.ServerPriorVersion.Set(float64(s.version))
+	telemetry.ServerTasks.Set(float64(st.Len()))
+	telemetry.ServerPriorVersion.Set(float64(st.Version()))
+	s.workerWg.Add(1)
+	go s.rebuildLoop()
+	s.kickRebuild()
 	return s, nil
 }
 
-// AddTask incorporates one task posterior (also callable in-process) and
-// returns the new prior version, so RPC handlers don't have to re-lock
-// (or worse, force a prior rebuild) just to report it.
-func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
+// Store exposes the underlying task store (read-mostly: recovery info,
+// forced snapshots).
+func (s *CloudServer) Store() *store.Store { return s.st }
+
+// appendTask validates and appends one task under mu.
+func (s *CloudServer) appendTask(t dpprior.TaskPosterior) (uint64, error) {
 	if len(t.Mu) == 0 || t.Sigma == nil {
 		return 0, errors.New("edge: AddTask: incomplete task posterior")
 	}
@@ -92,51 +157,175 @@ func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.tasks) > 0 && len(s.tasks[0].Mu) != len(t.Mu) {
+	if tasks, _ := s.st.View(); len(tasks) > 0 && len(tasks[0].Mu) != len(t.Mu) {
 		return 0, fmt.Errorf("edge: AddTask: dim %d does not match existing tasks (dim %d)",
-			len(t.Mu), len(s.tasks[0].Mu))
+			len(t.Mu), len(tasks[0].Mu))
 	}
-	s.tasks = append(s.tasks, t)
-	s.version++
-	telemetry.ServerTasks.Set(float64(len(s.tasks)))
-	telemetry.ServerPriorVersion.Set(float64(s.version))
-	return s.version, nil
+	v, err := s.st.Append(t)
+	if err != nil {
+		return 0, fmt.Errorf("edge: AddTask: %w", err)
+	}
+	telemetry.ServerTasks.Set(float64(s.st.Len()))
+	telemetry.ServerPriorVersion.Set(float64(v))
+	return v, nil
 }
 
-// Prior returns the current prior (rebuilding if the task set changed)
-// and its version. It fails when no tasks have been reported yet.
-func (s *CloudServer) Prior() (*dpprior.Prior, uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.priorLocked()
+// AddTask durably incorporates one task posterior (also callable
+// in-process) and returns the new store version. The served prior
+// catches up asynchronously; use WaitCaughtUp to block until it has.
+func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
+	v, err := s.appendTask(t)
+	if err != nil {
+		return 0, err
+	}
+	s.kickRebuild()
+	return v, nil
+}
+
+// kickRebuild signals the worker; a signal is already pending when the
+// channel is full, which is exactly the coalescing we want.
+func (s *CloudServer) kickRebuild() {
+	select {
+	case s.rebuildCh <- struct{}{}:
+	default:
+	}
+}
+
+// rebuildLoop is the background build worker: it folds new tasks into a
+// freshly built prior whenever the store has moved past the served
+// version, without ever holding a lock across the (expensive) build.
+func (s *CloudServer) rebuildLoop() {
+	defer s.workerWg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.rebuildCh:
+		}
+		for {
+			tasks, v := s.st.View()
+			s.priorMu.Lock()
+			built := s.built
+			hook := s.buildHook
+			s.priorMu.Unlock()
+			if v == 0 || v == built {
+				break
+			}
+			if hook != nil {
+				hook(v)
+			}
+			p, err := dpprior.Build(tasks, s.opts)
+			if err != nil {
+				// Leave the previous prior serving; the next AddTask (or
+				// cold-start fetch) retries.
+				s.logger.Error("edge: background prior rebuild failed", "version", v, "err", err)
+				break
+			}
+			s.setBuilt(p, v)
+			select {
+			case <-s.stopCh:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// setBuilt publishes a newly built prior and retains it for delta sync.
+func (s *CloudServer) setBuilt(p *dpprior.Prior, v uint64) {
+	s.priorMu.Lock()
+	if v > s.built || s.prior == nil {
+		s.prior = p
+		s.built = v
+		s.history[v] = p
+		s.histOrder = append(s.histOrder, v)
+		for len(s.histOrder) > deltaHistory {
+			delete(s.history, s.histOrder[0])
+			s.histOrder = s.histOrder[1:]
+		}
+		s.builtCond.Broadcast()
+	}
+	s.priorMu.Unlock()
+	telemetry.ServerRebuilds.Inc()
 }
 
 // errNoTasks marks the cold-start condition; dispatch maps it to
 // CodeNoTasks so clients see ErrNoPrior instead of an opaque string.
 var errNoTasks = errors.New("edge: no tasks reported yet")
 
-func (s *CloudServer) priorLocked() (*dpprior.Prior, uint64, error) {
-	if len(s.tasks) == 0 {
+// Prior returns the served prior and its (built) version without waiting
+// for in-flight rebuilds. The only time it builds synchronously is cold
+// start: tasks exist but no prior has ever been built. It fails when no
+// tasks have been reported yet.
+func (s *CloudServer) Prior() (*dpprior.Prior, uint64, error) {
+	s.priorMu.Lock()
+	p, built := s.prior, s.built
+	s.priorMu.Unlock()
+	if p != nil {
+		return p, built, nil
+	}
+	return s.buildCold()
+}
+
+// buildCold performs the one synchronous build: the first request after
+// tasks exist but before the worker has produced a prior. Serialized so
+// a thundering herd of first fetches runs one build, not N.
+func (s *CloudServer) buildCold() (*dpprior.Prior, uint64, error) {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	s.priorMu.Lock()
+	if s.prior != nil {
+		p, built := s.prior, s.built
+		s.priorMu.Unlock()
+		return p, built, nil
+	}
+	s.priorMu.Unlock()
+	tasks, v := s.st.View()
+	if v == 0 {
 		return nil, 0, errNoTasks
 	}
-	if s.prior == nil || s.built != s.version {
-		p, err := dpprior.Build(s.tasks, s.opts)
-		if err != nil {
-			return nil, 0, fmt.Errorf("edge: rebuild prior: %w", err)
-		}
-		s.prior = p
-		s.built = s.version
-		telemetry.ServerRebuilds.Inc()
+	p, err := dpprior.Build(tasks, s.opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("edge: rebuild prior: %w", err)
 	}
-	return s.prior, s.version, nil
+	s.setBuilt(p, v)
+	return p, v, nil
+}
+
+// WaitCaughtUp blocks until the served prior covers every task appended
+// before the call (or the server closes). Tests and deterministic
+// drivers use it to get read-your-writes freshness across the async
+// rebuild boundary.
+func (s *CloudServer) WaitCaughtUp() {
+	_, target := s.st.View()
+	if target == 0 {
+		return
+	}
+	s.kickRebuild()
+	s.priorMu.Lock()
+	defer s.priorMu.Unlock()
+	for s.built < target {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		s.builtCond.Wait()
+	}
+}
+
+// priorAt returns the retained prior for an exact version, if the
+// history ring still holds it.
+func (s *CloudServer) priorAt(version uint64) *dpprior.Prior {
+	s.priorMu.Lock()
+	defer s.priorMu.Unlock()
+	return s.history[version]
 }
 
 // Stats returns current counters.
 func (s *CloudServer) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{Tasks: len(s.tasks), PriorVersion: s.version}
-	if p, _, err := s.priorLocked(); err == nil {
+	st := Stats{Tasks: s.st.Len(), PriorVersion: s.st.Version()}
+	if p, _, err := s.Prior(); err == nil {
 		st.Components = len(p.Components)
 		st.WireBytes = p.WireSize()
 	}
@@ -213,20 +402,36 @@ func (s *CloudServer) ListenAndServe(addr string, addrCh chan<- string) error {
 }
 
 // Close stops accepting, closes active connections (clients see a clean
-// connection error on their next round trip), and waits for handlers.
+// connection error on their next round trip), stops the rebuild worker,
+// and syncs and closes the task store so every acknowledged task is on
+// disk. It waits for in-flight handlers.
 func (s *CloudServer) Close() error {
 	s.lnMu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	ln := s.ln
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.lnMu.Unlock()
-	if ln == nil {
-		return nil
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+		s.wg.Wait()
 	}
-	err := ln.Close()
-	s.wg.Wait()
+	if !alreadyClosed {
+		close(s.stopCh)
+		s.workerWg.Wait()
+		s.priorMu.Lock()
+		s.builtCond.Broadcast() // release WaitCaughtUp waiters
+		s.priorMu.Unlock()
+		if s.ownSt {
+			if serr := s.st.Close(); err == nil {
+				err = serr
+			}
+		}
+	}
 	return err
 }
 
@@ -305,26 +510,61 @@ func (s *CloudServer) handle(conn net.Conn) {
 	}
 }
 
+// servedPrior resolves the current prior for a fetch-style request,
+// mapping errors to protocol responses (nil means success).
+func (s *CloudServer) servedPrior(req *Request) (*dpprior.Prior, uint64, *Response) {
+	p, version, err := s.Prior()
+	if err != nil {
+		code := CodeInternal
+		if errors.Is(err, errNoTasks) {
+			code = CodeNoTasks
+		}
+		return nil, 0, &Response{Err: err.Error(), Code: code}
+	}
+	if req.Dim != 0 && req.Dim != p.Dim {
+		return nil, 0, &Response{
+			Err:  fmt.Sprintf("prior dim %d does not match requested %d", p.Dim, req.Dim),
+			Code: CodeBadRequest,
+		}
+	}
+	return p, version, nil
+}
+
 func (s *CloudServer) dispatch(req *Request) *Response {
 	switch req.Kind {
 	case GetPrior:
-		p, version, err := s.Prior()
-		if err != nil {
-			code := CodeInternal
-			if errors.Is(err, errNoTasks) {
-				code = CodeNoTasks
-			}
-			return &Response{Err: err.Error(), Code: code}
-		}
-		if req.Dim != 0 && req.Dim != p.Dim {
-			return &Response{
-				Err:  fmt.Sprintf("prior dim %d does not match requested %d", p.Dim, req.Dim),
-				Code: CodeBadRequest,
-			}
+		p, version, errResp := s.servedPrior(req)
+		if errResp != nil {
+			return errResp
 		}
 		if req.KnownVersion != 0 && req.KnownVersion == version {
+			telemetry.ServerPriorNotModified.Inc()
 			return &Response{Version: version, NotModified: true}
 		}
+		telemetry.ServerPriorFull.Inc()
+		return &Response{Prior: p, Version: version}
+	case GetPriorDelta:
+		p, version, errResp := s.servedPrior(req)
+		if errResp != nil {
+			return errResp
+		}
+		if req.KnownVersion != 0 && req.KnownVersion == version {
+			telemetry.ServerPriorNotModified.Inc()
+			return &Response{Version: version, NotModified: true}
+		}
+		if old := s.priorAt(req.KnownVersion); old != nil {
+			delta := dpprior.Diff(old, p, req.KnownVersion, version)
+			// A delta only ships when it actually beats the full prior —
+			// a rebuild that changed every component degenerates to Adds
+			// and the full payload is the cheaper, simpler answer.
+			if saved := p.WireSize() - delta.WireSize(); saved > 0 {
+				telemetry.ServerPriorDelta.Inc()
+				telemetry.ServerDeltaSavedBytes.Add(float64(saved))
+				return &Response{Delta: delta, Version: version}
+			}
+		}
+		// Version gap too old, diverged, or delta not worth it: full prior.
+		telemetry.ServerPriorFull.Inc()
 		return &Response{Prior: p, Version: version}
 	case ReportTask:
 		if req.Task == nil {

@@ -43,6 +43,14 @@ type DeviceSpec struct {
 	// fails the device degrades: it trains prior-free, and a lost report
 	// never reaches the cloud.
 	LossRate float64
+	// RefreshEvery, with Refreshes, runs a background prior-sync loop
+	// after training: every RefreshEvery the device refreshes its held
+	// prior — by version handshake when current, by component delta when
+	// the cloud still retains the held version, by full prior otherwise,
+	// and by falling back to the held copy when the cloud is down.
+	RefreshEvery time.Duration
+	// Refreshes is how many refresh rounds the device runs (0 = none).
+	Refreshes int
 }
 
 // Config tunes a simulation run.
@@ -69,6 +77,16 @@ type Config struct {
 	// live transport's ResilientClient policy so the simulator and the
 	// real stack degrade the same way.
 	Retry edge.RetryPolicy
+	// OutageStart/OutageEnd model a cloud crash and recovery: in
+	// [OutageStart, OutageEnd) every cloud interaction fails after the
+	// retry budget, so arriving devices train prior-free and refreshing
+	// devices fall back to their held prior. At OutageEnd the cloud comes
+	// back with its durable state (tasks, served prior, version) intact
+	// but its in-memory delta history empty — exactly what a drdp-cloud
+	// restart on a -data-dir looks like: the first refresh after recovery
+	// resyncs in full, later ones by delta again. Equal values = no outage.
+	OutageStart time.Duration
+	OutageEnd   time.Duration
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -100,6 +118,11 @@ type DeviceResult struct {
 	Retries         int           // failed transfer attempts that were retried
 	Degraded        bool          // fetch attempts exhausted: trained prior-free
 	ReportLost      bool          // upload attempts exhausted: cloud never saw the task
+	Refreshes       int           // background prior-sync rounds run
+	DeltaRefreshes  int           // refreshes answered with a component delta
+	FullRefreshes   int           // refreshes that moved the full prior
+	CachedFallbacks int           // refreshes that fell back to the held prior (cloud down/unreachable)
+	FinalVersion    uint64        // prior version held when the run ended
 }
 
 // Result aggregates the run.
@@ -107,10 +130,16 @@ type Result struct {
 	Devices      []DeviceResult
 	FinalVersion uint64
 	Rebuilds     int
-	BytesDown    int // total prior bytes shipped to devices
+	BytesDown    int // total prior bytes shipped to devices (fetch + refresh)
 	BytesUp      int // total posterior bytes reported
 	Degraded     int // devices that trained without a prior due to link loss
 	ReportsLost  int // reports that never reached the cloud
+
+	Refreshes       int // background prior-sync rounds across the fleet
+	DeltaRefreshes  int // refreshes served as component deltas
+	FullRefreshes   int // refreshes that moved the full prior
+	CachedFallbacks int // refreshes that fell back to the held prior
+	DeltaBytesSaved int // full-prior bytes the delta refreshes avoided
 }
 
 // event is one scheduled simulator transition.
@@ -128,6 +157,7 @@ const (
 	evFetched
 	evTrained
 	evReportArrived
+	evRefresh
 )
 
 type eventQueue []event
@@ -143,8 +173,13 @@ func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
-// cloudState is the simulated cloud: accumulated tasks and the currently
-// served prior (rebuilt per policy).
+// simDeltaHistory mirrors the live server's delta retention: how many
+// built priors the simulated cloud keeps for delta refreshes.
+const simDeltaHistory = 8
+
+// cloudState is the simulated cloud: accumulated tasks, the currently
+// served prior (rebuilt per policy), and a ring of recent priors for
+// delta refreshes — the same retention the live CloudServer has.
 type cloudState struct {
 	tasks        []dpprior.TaskPosterior
 	pendingSince int // tasks not yet folded into the served prior
@@ -153,6 +188,8 @@ type cloudState struct {
 	rebuilds     int
 	alpha        float64
 	seed         int64
+	history      map[uint64]*dpprior.Prior
+	histOrder    []uint64
 }
 
 func (c *cloudState) report(t dpprior.TaskPosterior, rebuildEvery int) error {
@@ -167,8 +204,25 @@ func (c *cloudState) report(t dpprior.TaskPosterior, rebuildEvery int) error {
 		c.version++
 		c.rebuilds++
 		c.pendingSince = 0
+		if c.history == nil {
+			c.history = make(map[uint64]*dpprior.Prior, simDeltaHistory)
+		}
+		c.history[c.version] = p
+		c.histOrder = append(c.histOrder, c.version)
+		for len(c.histOrder) > simDeltaHistory {
+			delete(c.history, c.histOrder[0])
+			c.histOrder = c.histOrder[1:]
+		}
 	}
 	return nil
+}
+
+// restart models the recovery side of an outage: the durable store
+// brings back tasks, served prior and version, but the in-memory delta
+// history is gone — refreshes right after recovery go full.
+func (c *cloudState) restart() {
+	c.history = nil
+	c.histOrder = nil
 }
 
 // transfer simulates one possibly-lossy transfer: each failed attempt
@@ -195,15 +249,16 @@ func transfer(rng *rand.Rand, loss float64, policy edge.RetryPolicy, link edge.L
 
 // deviceState carries a device's in-flight data between events.
 type deviceState struct {
-	spec    DeviceSpec
-	task    data.LinearTask
-	train   *data.Dataset
-	test    *data.Dataset
-	prior   *dpprior.Prior
-	version uint64
-	result  DeviceResult
-	fit     *core.Result
-	cov     *mat.Dense // Laplace posterior covariance, computed once
+	spec          DeviceSpec
+	task          data.LinearTask
+	train         *data.Dataset
+	test          *data.Dataset
+	prior         *dpprior.Prior
+	version       uint64
+	result        DeviceResult
+	fit           *core.Result
+	cov           *mat.Dense // Laplace posterior covariance, computed once
+	refreshesLeft int
 }
 
 // Run executes the simulation and returns per-device results ordered by
@@ -252,14 +307,29 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 	}
 
 	out := &Result{}
+	hasOutage := cfg.OutageEnd > cfg.OutageStart
+	recovered := !hasOutage
 	for q.Len() > 0 {
 		e := heap.Pop(q).(event)
 		d := devices[e.dev]
+		// Outage window: every interaction starting inside it fails after
+		// the retry budget, as if the cloud process were dead.
+		down := hasOutage && e.at >= cfg.OutageStart && e.at < cfg.OutageEnd
+		if !recovered && e.at >= cfg.OutageEnd {
+			cloud.restart()
+			recovered = true
+		}
+		lossFor := func(base float64) float64 {
+			if down {
+				return 1
+			}
+			return base
+		}
 		switch e.kind {
 		case evArrive:
 			// The lossy link may eat fetch attempts before (or instead of)
 			// the prior coming through.
-			retries, waste, ok := transfer(linkRng, d.spec.LossRate, cfg.Retry, d.spec.Link)
+			retries, waste, ok := transfer(linkRng, lossFor(d.spec.LossRate), cfg.Retry, d.spec.Link)
 			d.result.Retries += retries
 			// Snapshot the served prior NOW; downlink delay follows.
 			d.prior = cloud.served
@@ -303,6 +373,11 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 
 		case evTrained:
 			d.result.TimeToModel = e.at - d.spec.ArriveAt
+			if d.spec.Refreshes > 0 && d.spec.RefreshEvery > 0 {
+				// Start the background prior-sync loop.
+				d.refreshesLeft = d.spec.Refreshes
+				push(e.at+d.spec.RefreshEvery, evRefresh, e.dev)
+			}
 			if !d.spec.Report {
 				break
 			}
@@ -311,7 +386,7 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 				return nil, fmt.Errorf("sim: device %d posterior: %w", d.spec.ID, err)
 			}
 			d.cov = cov
-			retries, waste, ok := transfer(linkRng, d.spec.LossRate, cfg.Retry, d.spec.Link)
+			retries, waste, ok := transfer(linkRng, lossFor(d.spec.LossRate), cfg.Retry, d.spec.Link)
 			d.result.Retries += retries
 			if !ok {
 				// The upload never made it: the device keeps its model but
@@ -334,10 +409,53 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 			}, cfg.RebuildEvery); err != nil {
 				return nil, err
 			}
+
+		case evRefresh:
+			d.refreshesLeft--
+			if d.refreshesLeft > 0 {
+				push(e.at+d.spec.RefreshEvery, evRefresh, e.dev)
+			}
+			d.result.Refreshes++
+			out.Refreshes++
+			retries, _, ok := transfer(linkRng, lossFor(d.spec.LossRate), cfg.Retry, d.spec.Link)
+			d.result.Retries += retries
+			switch {
+			case !ok:
+				// Cloud down or link dead: the device keeps serving itself
+				// from the prior it already holds — the PriorCache path.
+				d.result.CachedFallbacks++
+				out.CachedFallbacks++
+			case cloud.served == nil || cloud.version == d.version:
+				// Cold cloud or already current: a version handshake, no
+				// payload.
+			default:
+				full := cloud.served.WireSize()
+				wire := full
+				delta := false
+				if old := cloud.history[d.version]; old != nil && d.prior != nil {
+					pd := dpprior.Diff(old, cloud.served, d.version, cloud.version)
+					if pd.WireSize() < full {
+						wire = pd.WireSize()
+						delta = true
+					}
+				}
+				if delta {
+					d.result.DeltaRefreshes++
+					out.DeltaRefreshes++
+					out.DeltaBytesSaved += full - wire
+				} else {
+					d.result.FullRefreshes++
+					out.FullRefreshes++
+				}
+				out.BytesDown += wire
+				d.prior = cloud.served
+				d.version = cloud.version
+			}
 		}
 	}
 
 	for _, d := range devices {
+		d.result.FinalVersion = d.version
 		out.Devices = append(out.Devices, d.result)
 	}
 	out.FinalVersion = cloud.version
@@ -357,5 +475,10 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 	telemetry.SimRebuilds.Add(float64(out.Rebuilds))
 	telemetry.SimBytesDown.Add(float64(out.BytesDown))
 	telemetry.SimBytesUp.Add(float64(out.BytesUp))
+	telemetry.SimRefreshes.Add(float64(out.Refreshes))
+	telemetry.SimDeltaRefreshes.Add(float64(out.DeltaRefreshes))
+	telemetry.SimFullRefreshes.Add(float64(out.FullRefreshes))
+	telemetry.SimCachedFallbacks.Add(float64(out.CachedFallbacks))
+	telemetry.SimDeltaSavedBytes.Add(float64(out.DeltaBytesSaved))
 	return out, nil
 }

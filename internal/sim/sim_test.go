@@ -295,3 +295,93 @@ func TestSimTelemetryMirrorsResult(t *testing.T) {
 		t.Errorf("core fits delta = %g, want %d", got, len(res.Devices))
 	}
 }
+
+// TestSimCloudRestart exercises the outage/recovery scenario: the cloud
+// dies mid-run, refreshing devices fall back to their held priors,
+// devices arriving during the outage train prior-free, and after the
+// cloud recovers (durable state intact, delta history lost) the fleet
+// resynchronizes — in full right after the restart, by delta once the
+// history refills.
+func TestSimCloudRestart(t *testing.T) {
+	cfg := simConfig(t, 321)
+	cfg.OutageStart = 60 * time.Second
+	cfg.OutageEnd = 120 * time.Second
+
+	var specs []DeviceSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, DeviceSpec{
+			ID: i, ArriveAt: time.Duration(i) * time.Second,
+			Link: edge.LinkWiFi, Samples: 200, Report: true, Cluster: i % 2,
+			RefreshEvery: 20 * time.Second, Refreshes: 8,
+		})
+	}
+	// Arrives while the cloud is down: must degrade, then resync later.
+	specs = append(specs, DeviceSpec{
+		ID: 4, ArriveAt: 70 * time.Second,
+		Link: edge.LinkWiFi, Samples: 12, Cluster: 0,
+		RefreshEvery: 20 * time.Second, Refreshes: 5,
+	})
+	// Arrives after recovery: reports so the post-restart history refills
+	// and later refreshes can go by delta again.
+	specs = append(specs, DeviceSpec{
+		ID: 5, ArriveAt: 130 * time.Second,
+		Link: edge.LinkWiFi, Samples: 200, Report: true, Cluster: 1,
+	})
+
+	res, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("totals: refreshes=%d delta=%d full=%d cached=%d saved=%dB finalVersion=%d degraded=%d",
+		res.Refreshes, res.DeltaRefreshes, res.FullRefreshes, res.CachedFallbacks,
+		res.DeltaBytesSaved, res.FinalVersion, res.Degraded)
+
+	// During the outage every refresh must fall back to the held prior.
+	if res.CachedFallbacks == 0 {
+		t.Error("no cached fallbacks during a 60s outage")
+	}
+	// After recovery the delta history is gone, so resyncs go full first;
+	// once post-restart reports refill it, at least one refresh must have
+	// gone by delta and saved bytes.
+	if res.FullRefreshes == 0 {
+		t.Error("no full resyncs after the restart")
+	}
+	if res.DeltaRefreshes == 0 || res.DeltaBytesSaved <= 0 {
+		t.Errorf("delta refreshes=%d saved=%dB; delta sync never engaged",
+			res.DeltaRefreshes, res.DeltaBytesSaved)
+	}
+	for _, d := range res.Devices {
+		switch {
+		case d.ID <= 3:
+			// Pioneers refresh through the outage: some rounds fell back,
+			// and the final rounds resynchronized to the current prior.
+			if d.Refreshes != 8 {
+				t.Errorf("pioneer %d ran %d refreshes, want 8", d.ID, d.Refreshes)
+			}
+			if d.CachedFallbacks == 0 {
+				t.Errorf("pioneer %d never fell back during the outage", d.ID)
+			}
+			if d.FinalVersion != res.FinalVersion {
+				t.Errorf("pioneer %d ended at version %d, fleet is at %d",
+					d.ID, d.FinalVersion, res.FinalVersion)
+			}
+		case d.ID == 4:
+			// Arrived mid-outage: trained prior-free, resynced afterwards.
+			if !d.Degraded || d.FetchedVersion != 0 {
+				t.Errorf("mid-outage device: degraded=%v fetched=%d, want prior-free arrival",
+					d.Degraded, d.FetchedVersion)
+			}
+			if d.FinalVersion != res.FinalVersion {
+				t.Errorf("mid-outage device ended at version %d, fleet is at %d",
+					d.FinalVersion, res.FinalVersion)
+			}
+		case d.ID == 5:
+			// Arrived after recovery: a normal warm fetch off the durable
+			// state, no degradation.
+			if d.Degraded || d.FetchedVersion == 0 {
+				t.Errorf("post-recovery device: degraded=%v fetched=%d, want warm fetch",
+					d.Degraded, d.FetchedVersion)
+			}
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package store is the cloud's durable task-posterior store: an
+// append-only log of reported tasks plus periodic snapshot compaction,
+// built so a cloud restart recovers the exact task set (and therefore,
+// with a seeded builder, the byte-identical prior) it was serving.
+//
+// # On-disk layout
+//
+// A store directory holds at most two files:
+//
+//	snapshot.gob   gob({Version, Tasks}) — the compacted prefix
+//	tasks.log      framed records appended since the snapshot
+//
+// Each log record is framed as
+//
+//	[4-byte big-endian payload length][4-byte IEEE CRC32 of payload][payload]
+//
+// where the payload is an independently gob-encoded {Seq, Task} pair.
+// Records are self-delimiting and self-checking, so recovery can replay
+// the log from the start and stop at the first torn or corrupt record:
+// a crash mid-append loses at most the record being written, never the
+// tail behind it. The truncated bytes are chopped off so the next append
+// lands on a clean boundary.
+//
+// Sequence numbers make compaction crash-safe in either order: a record
+// whose Seq is already covered by the snapshot is skipped on replay, so
+// a crash between "snapshot written" and "log truncated" merely replays
+// no-ops.
+//
+// # Concurrency and versioning
+//
+// The store is safe for concurrent use. Version() is the total number of
+// tasks ever appended — the same monotonic counter the edge protocol
+// uses as the prior version. View() returns an immutable prefix snapshot
+// of the task slice (appends never mutate published entries), which is
+// what lets the cloud's rebuild worker read the task set without
+// blocking appenders.
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+const (
+	snapshotName = "snapshot.gob"
+	logName      = "tasks.log"
+
+	// DefaultSnapshotEvery is how many appended records accumulate in the
+	// log before it is compacted into the snapshot.
+	DefaultSnapshotEvery = 64
+
+	// DefaultMaxRecordBytes bounds one log record on the read path; a
+	// corrupt length prefix cannot make recovery allocate unbounded
+	// memory.
+	DefaultMaxRecordBytes = 64 << 20
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the store directory, created if missing. Empty means
+	// memory-only: no persistence, but the same API and versioning.
+	Dir string
+	// SnapshotEvery compacts the log into the snapshot after this many
+	// appended records (0 = DefaultSnapshotEvery; negative = never).
+	SnapshotEvery int
+	// NoSync skips fsync after appends and snapshots. Cuts append latency
+	// for tests and benchmarks at the cost of durability on power loss.
+	NoSync bool
+	// MaxRecordBytes bounds one record during recovery
+	// (0 = DefaultMaxRecordBytes).
+	MaxRecordBytes int64
+	// Logger receives recovery notices; nil picks the default handler.
+	Logger *slog.Logger
+}
+
+// RecoveryInfo reports what Open found on disk.
+type RecoveryInfo struct {
+	SnapshotTasks  int   // tasks loaded from the snapshot
+	LogRecords     int   // records replayed from the log
+	SkippedRecords int   // log records already covered by the snapshot
+	TruncatedBytes int64 // torn/corrupt tail bytes chopped off the log
+	Truncated      bool  // recovery found and removed a bad tail
+}
+
+// Store is a crash-safe, append-only task-posterior store.
+type Store struct {
+	opts   Options
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	tasks     []dpprior.TaskPosterior
+	version   uint64 // == total tasks appended, ever
+	sinceSnap int    // records in the log since the last snapshot
+	logF      *os.File
+	closed    bool
+	recovery  RecoveryInfo
+}
+
+// logRecord is one framed log entry. Seq is the store version the
+// append produced, letting replay skip records the snapshot already
+// covers.
+type logRecord struct {
+	Seq  uint64
+	Task dpprior.TaskPosterior
+}
+
+// snapshotFile is the compacted on-disk prefix.
+type snapshotFile struct {
+	Version uint64
+	Tasks   []dpprior.TaskPosterior
+}
+
+// Open opens (or creates) a store, recovering the task set from the
+// snapshot and log. A torn or corrupt log tail is truncated and
+// reported via Recovery(); a corrupt snapshot is a hard error (delete
+// it to start cold).
+func Open(opts Options) (*Store, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if opts.MaxRecordBytes <= 0 {
+		opts.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	s := &Store{opts: opts, logger: telemetry.OrDefault(opts.Logger)}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayLog(); err != nil {
+		return nil, err
+	}
+	if s.recovery.Truncated {
+		telemetry.StoreRecoveries.Inc()
+		telemetry.StoreTruncatedBytes.Add(float64(s.recovery.TruncatedBytes))
+		s.logger.Warn("store: truncated corrupt log tail",
+			"dir", opts.Dir, "bytes", s.recovery.TruncatedBytes,
+			"records", s.recovery.LogRecords)
+	}
+	telemetry.StoreTasks.Set(float64(len(s.tasks)))
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.opts.Dir, snapshotName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("store: snapshot %s is corrupt (delete it to start cold): %w", path, err)
+	}
+	if uint64(len(snap.Tasks)) > snap.Version {
+		return fmt.Errorf("store: snapshot %s holds %d tasks above version %d",
+			path, len(snap.Tasks), snap.Version)
+	}
+	s.tasks = snap.Tasks
+	s.version = snap.Version
+	s.recovery.SnapshotTasks = len(snap.Tasks)
+	return nil
+}
+
+// replayLog scans the framed log, appending records beyond the snapshot
+// version and truncating the first torn or corrupt tail it hits.
+func (s *Store) replayLog() error {
+	path := filepath.Join(s.opts.Dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open log: %w", err)
+	}
+	s.logF = f
+
+	offset := int64(0) // end of the last fully valid record
+	for {
+		rec, n, err := readRecord(f, s.opts.MaxRecordBytes)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: everything before offset is intact.
+			end, serr := f.Seek(0, io.SeekEnd)
+			if serr != nil {
+				return fmt.Errorf("store: seek log: %w", serr)
+			}
+			s.recovery.Truncated = true
+			s.recovery.TruncatedBytes = end - offset
+			if terr := f.Truncate(offset); terr != nil {
+				return fmt.Errorf("store: truncate log tail: %w", terr)
+			}
+			break
+		}
+		offset += n
+		if rec.Seq <= s.version {
+			// Already covered by the snapshot (crash between snapshot
+			// write and log truncation).
+			s.recovery.SkippedRecords++
+			continue
+		}
+		s.tasks = append(s.tasks, rec.Task)
+		s.version = rec.Seq
+		s.recovery.LogRecords++
+		s.sinceSnap++
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek log end: %w", err)
+	}
+	return nil
+}
+
+// Recovery reports what Open found on disk (zero value for a fresh or
+// memory-only store).
+func (s *Store) Recovery() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Version returns the store version: the total number of tasks ever
+// appended. It is the prior version the edge protocol advertises.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Len returns the number of stored tasks.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tasks)
+}
+
+// View returns the current task set and version. The returned slice is
+// an immutable snapshot (append-only storage never mutates published
+// entries); callers must not modify it.
+func (s *Store) View() ([]dpprior.TaskPosterior, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tasks[:len(s.tasks):len(s.tasks)], s.version
+}
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Append durably appends one task and returns the new store version.
+func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	seq := s.version + 1
+	if s.logF != nil {
+		frame, err := encodeRecord(logRecord{Seq: seq, Task: t})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := s.logF.Write(frame); err != nil {
+			return 0, fmt.Errorf("store: append: %w", err)
+		}
+		if !s.opts.NoSync {
+			if err := s.logF.Sync(); err != nil {
+				return 0, fmt.Errorf("store: sync log: %w", err)
+			}
+		}
+		telemetry.StoreLogBytes.Add(float64(len(frame)))
+	}
+	s.tasks = append(s.tasks, t)
+	s.version = seq
+	s.sinceSnap++
+	telemetry.StoreAppends.Inc()
+	telemetry.StoreTasks.Set(float64(len(s.tasks)))
+	if s.logF != nil && s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			// The append itself is durable; compaction just didn't happen.
+			// Surface it in logs and retry on the next append.
+			s.logger.Warn("store: snapshot compaction failed", "err", err)
+		}
+	}
+	return seq, nil
+}
+
+// Snapshot forces compaction: the full task set is written as a new
+// snapshot and the log is truncated. No-op for memory-only stores.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.logF == nil {
+		return nil
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	// Write the snapshot beside its target and rename over it, so a crash
+	// mid-write never tears the previous snapshot. The log is truncated
+	// only after the new snapshot is durable; a crash in between is
+	// handled by sequence-number skipping on replay.
+	tmp, err := os.CreateTemp(s.opts.Dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(snapshotFile{Version: s.version, Tasks: s.tasks}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: sync snapshot: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.opts.Dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	if err := s.logF.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate log: %w", err)
+	}
+	if _, err := s.logF.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewind log: %w", err)
+	}
+	s.sinceSnap = 0
+	telemetry.StoreSnapshots.Inc()
+	return nil
+}
+
+// Sync flushes the log to stable storage (useful with NoSync stores
+// before an orderly shutdown).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.logF == nil {
+		return nil
+	}
+	return s.logF.Sync()
+}
+
+// Close syncs and closes the store. Further appends fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.logF == nil {
+		return nil
+	}
+	if err := s.logF.Sync(); err != nil {
+		s.logF.Close()
+		return fmt.Errorf("store: sync on close: %w", err)
+	}
+	return s.logF.Close()
+}

@@ -67,6 +67,22 @@ var (
 	CoreObjectiveDelta = Default.Gauge("drdp_core_em_objective_delta")
 	CoreGradNorm       = Default.Gauge("drdp_core_em_grad_norm")
 
+	// --- durable task store -------------------------------------------
+	StoreAppends        = Default.Counter("drdp_store_appends_total")
+	StoreLogBytes       = Default.Counter("drdp_store_log_bytes_total")
+	StoreSnapshots      = Default.Counter("drdp_store_snapshots_total")
+	StoreRecoveries     = Default.Counter("drdp_store_recoveries_total")
+	StoreTruncatedBytes = Default.Counter("drdp_store_truncated_bytes_total")
+	StoreTasks          = Default.Gauge("drdp_store_tasks")
+
+	// --- prior delta sync ---------------------------------------------
+	ServerPriorFull         = Default.Counter("drdp_edge_server_prior_responses_total", L("kind", "full"))
+	ServerPriorDelta        = Default.Counter("drdp_edge_server_prior_responses_total", L("kind", "delta"))
+	ServerPriorNotModified  = Default.Counter("drdp_edge_server_prior_responses_total", L("kind", "not-modified"))
+	ServerDeltaSavedBytes   = Default.Counter("drdp_edge_server_delta_saved_bytes_total")
+	EdgeClientDeltasApplied = Default.Counter("drdp_edge_client_deltas_applied_total")
+	EdgeClientFullPriors    = Default.Counter("drdp_edge_client_full_priors_total")
+
 	// --- fleet simulator ----------------------------------------------
 	SimDevices     = Default.Counter("drdp_sim_devices_total")
 	SimDegraded    = Default.Counter("drdp_sim_degraded_total")
@@ -75,6 +91,13 @@ var (
 	SimRebuilds    = Default.Counter("drdp_sim_prior_rebuilds_total")
 	SimBytesDown   = Default.Counter("drdp_sim_down_bytes_total")
 	SimBytesUp     = Default.Counter("drdp_sim_up_bytes_total")
+
+	// --- fleet simulator: refresh / restart scenario ------------------
+	SimRefreshes       = Default.Counter("drdp_sim_refreshes_total")
+	SimDeltaRefreshes  = Default.Counter("drdp_sim_delta_refreshes_total")
+	SimFullRefreshes   = Default.Counter("drdp_sim_full_refreshes_total")
+	SimCachedFallbacks = Default.Counter("drdp_sim_cached_fallbacks_total")
+	SimDeltaSavedBytes = Default.Counter("drdp_sim_delta_saved_bytes_total")
 )
 
 // ServerReqCounter maps a protocol request-kind name (RequestKind
@@ -150,47 +173,62 @@ func init() {
 	Default.Gauge("drdp_core_em_objective_iter", L("iter", "0")).Set(math.NaN())
 
 	for name, help := range map[string]string{
-		"drdp_edge_client_dials_total":           "TCP dials attempted by ResilientClient (includes redials).",
-		"drdp_edge_client_retries_total":         "Round trips re-attempted after a transport fault.",
-		"drdp_edge_client_failures_total":        "Round-trip attempts that ended in a transport fault.",
-		"drdp_edge_client_backoff_seconds_total": "Total time slept in retry backoff.",
-		"drdp_edge_client_sent_bytes_total":      "Bytes written to the cloud connection by the client.",
-		"drdp_edge_client_received_bytes_total":  "Bytes read from the cloud connection by the client.",
-		"drdp_edge_client_roundtrip_seconds":     "Latency of successful client round trips (dial excluded, retries included).",
-		"drdp_edge_breaker_state":                "Circuit breaker state: 0=closed, 1=open, 2=half-open.",
-		"drdp_edge_breaker_transitions_total":    "Circuit breaker transitions into each state.",
-		"drdp_edge_cache_hits_total":             "Prior fetches answered by the cache (server said not-modified).",
-		"drdp_edge_cache_misses_total":           "Prior fetches that had to pull a full prior with a cold or outdated cache.",
-		"drdp_edge_cache_stale_total":            "Rounds served a stale cached prior because the cloud was unreachable.",
-		"drdp_edge_device_rounds_total":          "Device training rounds by prior degradation level.",
-		"drdp_edge_device_fetch_errors_total":    "Device rounds whose prior fetch errored (before degradation).",
-		"drdp_edge_device_report_errors_total":   "Device rounds whose posterior report failed.",
-		"drdp_edge_server_connections_active":    "Currently open client connections.",
-		"drdp_edge_server_connections_total":     "Client connections accepted since start.",
-		"drdp_edge_server_requests_total":        "Requests handled, by protocol kind.",
-		"drdp_edge_server_request_seconds":       "Server-side request handling latency.",
-		"drdp_edge_server_panics_total":          "Handler panics recovered (connection dropped).",
-		"drdp_edge_server_decode_errors_total":   "Malformed or oversized request frames.",
-		"drdp_edge_server_sent_bytes_total":      "Bytes written to clients.",
-		"drdp_edge_server_received_bytes_total":  "Bytes read from clients.",
-		"drdp_edge_server_tasks":                 "Task posteriors currently incorporated in the prior pool.",
-		"drdp_edge_server_prior_version":         "Version of the most recently built prior.",
-		"drdp_edge_server_prior_rebuilds_total":  "DP prior rebuilds triggered by stale reads.",
-		"drdp_core_fits_total":                   "Learner.Fit calls completed.",
-		"drdp_core_fit_seconds":                  "Wall time of Learner.Fit.",
-		"drdp_core_em_iterations_total":          "EM iterations across all fits (all starts).",
-		"drdp_core_mstep_iterations_total":       "Inner M-step solver iterations across all fits.",
-		"drdp_core_em_objective":                 "Final objective of the last completed fit.",
-		"drdp_core_em_objective_delta":           "Objective change in the last EM iteration of the last fit.",
-		"drdp_core_em_grad_norm":                 "Gradient norm reported by the last M-step solve.",
-		"drdp_core_em_objective_iter":            "Objective per EM iteration of the last fit's winning start (NaN = beyond trace).",
-		"drdp_sim_devices_total":                 "Simulated device rounds completed.",
-		"drdp_sim_degraded_total":                "Simulated rounds that trained without a fresh prior.",
-		"drdp_sim_reports_lost_total":            "Simulated posterior reports lost to the link.",
-		"drdp_sim_retries_total":                 "Simulated transfer retries.",
-		"drdp_sim_prior_rebuilds_total":          "Simulated cloud prior rebuilds.",
-		"drdp_sim_down_bytes_total":              "Simulated bytes shipped cloud-to-edge.",
-		"drdp_sim_up_bytes_total":                "Simulated bytes shipped edge-to-cloud.",
+		"drdp_edge_client_dials_total":             "TCP dials attempted by ResilientClient (includes redials).",
+		"drdp_edge_client_retries_total":           "Round trips re-attempted after a transport fault.",
+		"drdp_edge_client_failures_total":          "Round-trip attempts that ended in a transport fault.",
+		"drdp_edge_client_backoff_seconds_total":   "Total time slept in retry backoff.",
+		"drdp_edge_client_sent_bytes_total":        "Bytes written to the cloud connection by the client.",
+		"drdp_edge_client_received_bytes_total":    "Bytes read from the cloud connection by the client.",
+		"drdp_edge_client_roundtrip_seconds":       "Latency of successful client round trips (dial excluded, retries included).",
+		"drdp_edge_breaker_state":                  "Circuit breaker state: 0=closed, 1=open, 2=half-open.",
+		"drdp_edge_breaker_transitions_total":      "Circuit breaker transitions into each state.",
+		"drdp_edge_cache_hits_total":               "Prior fetches answered by the cache (server said not-modified).",
+		"drdp_edge_cache_misses_total":             "Prior fetches that had to pull a full prior with a cold or outdated cache.",
+		"drdp_edge_cache_stale_total":              "Rounds served a stale cached prior because the cloud was unreachable.",
+		"drdp_edge_device_rounds_total":            "Device training rounds by prior degradation level.",
+		"drdp_edge_device_fetch_errors_total":      "Device rounds whose prior fetch errored (before degradation).",
+		"drdp_edge_device_report_errors_total":     "Device rounds whose posterior report failed.",
+		"drdp_edge_server_connections_active":      "Currently open client connections.",
+		"drdp_edge_server_connections_total":       "Client connections accepted since start.",
+		"drdp_edge_server_requests_total":          "Requests handled, by protocol kind.",
+		"drdp_edge_server_request_seconds":         "Server-side request handling latency.",
+		"drdp_edge_server_panics_total":            "Handler panics recovered (connection dropped).",
+		"drdp_edge_server_decode_errors_total":     "Malformed or oversized request frames.",
+		"drdp_edge_server_sent_bytes_total":        "Bytes written to clients.",
+		"drdp_edge_server_received_bytes_total":    "Bytes read from clients.",
+		"drdp_edge_server_tasks":                   "Task posteriors currently incorporated in the prior pool.",
+		"drdp_edge_server_prior_version":           "Version of the most recently built prior.",
+		"drdp_edge_server_prior_rebuilds_total":    "DP prior rebuilds triggered by stale reads.",
+		"drdp_core_fits_total":                     "Learner.Fit calls completed.",
+		"drdp_core_fit_seconds":                    "Wall time of Learner.Fit.",
+		"drdp_core_em_iterations_total":            "EM iterations across all fits (all starts).",
+		"drdp_core_mstep_iterations_total":         "Inner M-step solver iterations across all fits.",
+		"drdp_core_em_objective":                   "Final objective of the last completed fit.",
+		"drdp_core_em_objective_delta":             "Objective change in the last EM iteration of the last fit.",
+		"drdp_core_em_grad_norm":                   "Gradient norm reported by the last M-step solve.",
+		"drdp_core_em_objective_iter":              "Objective per EM iteration of the last fit's winning start (NaN = beyond trace).",
+		"drdp_sim_devices_total":                   "Simulated device rounds completed.",
+		"drdp_sim_degraded_total":                  "Simulated rounds that trained without a fresh prior.",
+		"drdp_sim_reports_lost_total":              "Simulated posterior reports lost to the link.",
+		"drdp_sim_retries_total":                   "Simulated transfer retries.",
+		"drdp_sim_prior_rebuilds_total":            "Simulated cloud prior rebuilds.",
+		"drdp_sim_down_bytes_total":                "Simulated bytes shipped cloud-to-edge.",
+		"drdp_sim_up_bytes_total":                  "Simulated bytes shipped edge-to-cloud.",
+		"drdp_store_appends_total":                 "Task posteriors appended to the durable store.",
+		"drdp_store_log_bytes_total":               "Bytes written to the append-only task log.",
+		"drdp_store_snapshots_total":               "Snapshot compactions completed.",
+		"drdp_store_recoveries_total":              "Store opens that truncated a torn or corrupt log tail.",
+		"drdp_store_truncated_bytes_total":         "Corrupt log-tail bytes discarded during recovery.",
+		"drdp_store_tasks":                         "Tasks currently held by the durable store.",
+		"drdp_edge_server_prior_responses_total":   "Prior fetch responses by payload kind (full, delta, not-modified).",
+		"drdp_edge_server_delta_saved_bytes_total": "Wire bytes saved by shipping deltas instead of full priors.",
+		"drdp_edge_client_deltas_applied_total":    "Prior deltas received and patched into the cached prior.",
+		"drdp_edge_client_full_priors_total":       "Full prior payloads received by the client.",
+		"drdp_sim_refreshes_total":                 "Simulated periodic prior refresh attempts.",
+		"drdp_sim_delta_refreshes_total":           "Simulated refreshes served as deltas.",
+		"drdp_sim_full_refreshes_total":            "Simulated refreshes that fell back to a full prior.",
+		"drdp_sim_cached_fallbacks_total":          "Simulated refreshes that kept the cached prior (cloud down).",
+		"drdp_sim_delta_saved_bytes_total":         "Simulated wire bytes saved by delta refreshes.",
 	} {
 		Default.SetHelp(name, help)
 	}
