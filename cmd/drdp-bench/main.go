@@ -57,6 +57,7 @@ var jobs = []job{
 	{id: "table10", table: experiment.Table10Imbalance},
 	{id: "table11", table: experiment.Table11AlphaSelection},
 	{id: "table12", table: experiment.Table12LossyLinks},
+	{id: "table13", table: experiment.Table13Parallel},
 }
 
 func main() {
@@ -68,16 +69,17 @@ func main() {
 
 func run() error {
 	var (
-		only    = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
-		csvDir  = flag.String("csv", "", "directory for CSV output (created if missing)")
-		jsonDir = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
-		reps    = flag.Int("reps", 3, "repetitions (seeds) per configuration")
-		seed    = flag.Int64("seed", 1, "base seed")
-		fast    = flag.Bool("fast", false, "reduced workload (what `go test -bench` uses)")
+		only     = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
+		csvDir   = flag.String("csv", "", "directory for CSV output (created if missing)")
+		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
+		reps     = flag.Int("reps", 3, "repetitions (seeds) per configuration")
+		seed     = flag.Int64("seed", 1, "base seed")
+		fast     = flag.Bool("fast", false, "reduced workload (what `go test -bench` uses)")
+		parallel = flag.Int("parallel", 0, "worker count for DRDP fits (0 = serial; results are bit-identical either way)")
 	)
 	flag.Parse()
 
-	cfg := experiment.RunConfig{Reps: *reps, Seed: *seed, Fast: *fast}
+	cfg := experiment.RunConfig{Reps: *reps, Seed: *seed, Fast: *fast, Parallelism: *parallel}
 
 	selected := map[string]bool{}
 	if *only != "" {

@@ -45,17 +45,18 @@ func main() {
 
 func run() error {
 	var (
-		cloud   = flag.String("cloud", "", "cloud server address (empty = train without a prior)")
-		trainF  = flag.String("train", "", "training CSV (features..., label); empty = synthesize")
-		testF   = flag.String("test", "", "test CSV; empty = synthesize")
-		dim     = flag.Int("dim", 20, "feature dimensionality")
-		n       = flag.Int("n", 20, "synthetic local training samples")
-		rho     = flag.Float64("rho", 0.05, "uncertainty radius")
-		kind    = flag.String("set", "wasserstein", "uncertainty set: none|wasserstein|kl|chi2")
-		tau     = flag.Float64("tau", 0, "prior weight (0 = 1/n)")
-		report  = flag.Bool("report", false, "report the solved task back to the cloud")
-		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed for synthetic data")
-		timeout = flag.Duration("timeout", 5*time.Second, "cloud dial timeout")
+		cloud    = flag.String("cloud", "", "cloud server address (empty = train without a prior)")
+		trainF   = flag.String("train", "", "training CSV (features..., label); empty = synthesize")
+		testF    = flag.String("test", "", "test CSV; empty = synthesize")
+		dim      = flag.Int("dim", 20, "feature dimensionality")
+		n        = flag.Int("n", 20, "synthetic local training samples")
+		rho      = flag.Float64("rho", 0.05, "uncertainty radius")
+		kind     = flag.String("set", "wasserstein", "uncertainty set: none|wasserstein|kl|chi2")
+		tau      = flag.Float64("tau", 0, "prior weight (0 = 1/n)")
+		parallel = flag.Int("parallel", 0, "training workers (0 = serial, <0 = GOMAXPROCS; results bit-identical)")
+		report   = flag.Bool("report", false, "report the solved task back to the cloud")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed for synthetic data")
+		timeout  = flag.Duration("timeout", 5*time.Second, "cloud dial timeout")
 
 		retries   = flag.Int("retries", edge.DefaultRetryPolicy.MaxAttempts, "round-trip attempts before giving up")
 		backoff   = flag.Duration("backoff", edge.DefaultRetryPolicy.Base, "base retry backoff (grows exponentially, jittered)")
@@ -114,6 +115,7 @@ func run() error {
 		Model:         m,
 		Set:           dro.Set{Kind: setKind, Rho: *rho},
 		Tau:           *tau,
+		Parallelism:   *parallel,
 		FallbackLocal: *fallback,
 	}
 	if *cachePath != "" {

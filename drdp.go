@@ -84,6 +84,9 @@ var (
 	WithLBFGSMStep = core.WithLBFGSMStep
 	// WithGroundMetric selects the Wasserstein transport cost.
 	WithGroundMetric = core.WithGroundMetric
+	// WithParallelism fans the training hot paths over n workers with
+	// bit-identical results (n <= 0 picks GOMAXPROCS).
+	WithParallelism = core.WithParallelism
 )
 
 // Online is the streaming wrapper: Observe() appends samples and refits

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
@@ -27,11 +28,19 @@ import (
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
+	"github.com/drdp/drdp/internal/parallel"
 	"github.com/drdp/drdp/internal/telemetry"
 )
 
 // Learner is a configured DRDP edge learner. Construct with New; the
 // zero value is not usable.
+//
+// A Learner is immutable after New and safe for concurrent use: Fit,
+// Predict and Certificate may be called from any number of goroutines at
+// once. Each Fit call allocates its own scratch state (per-start when
+// multi-start runs in parallel), so concurrent fits never share buffers;
+// the only shared mutable state is the progress/telemetry sink, which is
+// serialized internally.
 type Learner struct {
 	model       model.Model
 	set         dro.Set
@@ -47,6 +56,11 @@ type Learner struct {
 	lbfgsMem    int            // > 0 selects the L-BFGS inner solver
 	ground      dro.GroundNorm // transport cost of the Wasserstein ball
 	progress    func(Progress) // per-EM-iteration callback; nil = none
+	pool        *parallel.Pool // nil = inline serial reference path
+	// progressMu serializes recordIteration across parallel starts and
+	// concurrent fits. A pointer so the online warm-start shallow copy
+	// shares the sink lock instead of copying a locked mutex.
+	progressMu *sync.Mutex
 }
 
 // Option configures a Learner.
@@ -59,6 +73,25 @@ func WithUncertaintySet(s dro.Set) Option {
 			return err
 		}
 		l.set = s
+		return nil
+	}
+}
+
+// WithParallelism fans the training hot paths — per-sample losses,
+// worst-case weight solves, weighted gradients, E-step component
+// densities and the multi-start EM runs — out over n worker goroutines;
+// n <= 0 picks runtime.GOMAXPROCS(0). The default (no option) runs
+// everything inline on the calling goroutine.
+//
+// Parallelism never changes the result: work is split on the fixed chunk
+// grid of package parallel and partials combine by its fixed-order tree
+// reduction, so a fit with any parallelism is bit-for-bit identical to
+// the inline path. The only observable difference is the arrival order
+// of WithProgress callbacks across multi-start runs (callbacks are still
+// serialized, never concurrent).
+func WithParallelism(n int) Option {
+	return func(l *Learner) error {
+		l.pool = parallel.New(n)
 		return nil
 	}
 }
@@ -175,10 +208,11 @@ func New(m model.Model, options ...Option) (*Learner, error) {
 		return nil, errors.New("core: New: nil model")
 	}
 	l := &Learner{
-		model:   m,
-		emIters: 25,
-		emTol:   1e-6,
-		mstep:   opt.Options{MaxIter: 200, Tol: 1e-6},
+		model:      m,
+		emIters:    25,
+		emTol:      1e-6,
+		mstep:      opt.Options{MaxIter: 200, Tol: 1e-6},
+		progressMu: &sync.Mutex{},
 	}
 	for _, o := range options {
 		if err := o(l); err != nil {
@@ -250,6 +284,7 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 	}
 
 	fitStart := time.Now()
+	telemetry.ParallelWorkers.Set(float64(l.pool.Workers()))
 	var res em.Result
 	if l.prior == nil {
 		// No prior: a single convex M-step solves the whole problem.
@@ -263,18 +298,12 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 		// The mixture prior makes the objective multi-basin; run EM from
 		// each candidate start and keep the best final objective, so the
 		// local data can veto a misleading cloud component.
-		for i, start := range l.startingPoints() {
-			run := em.Run[[]float64](prob, start, em.Options{
-				MaxIters: l.emIters, Tol: l.emTol, OnIter: l.iterHook(i, prob)})
-			if i == 0 || run.Objective < res.Objective {
-				res = run
-			}
-		}
+		res = l.runStarts(prob)
 	}
 
 	final := mat.Vec(res.Theta)
-	l.model.Losses(final, x, y, prob.losses)
-	robust, _ := l.set.WorstCase(prob.losses, l.lipschitz(final))
+	model.ParLosses(l.pool, l.model, final, x, y, prob.losses)
+	robust, _ := l.set.WorstCasePool(l.pool, prob.losses, l.lipschitz(final))
 	out := &Result{
 		Params:        final,
 		Objective:     res.Objective,
@@ -285,7 +314,7 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 		Converged:     res.Converged,
 	}
 	if l.prior != nil {
-		out.Responsibilities = l.prior.Responsibilities(final)
+		out.Responsibilities = l.prior.ResponsibilitiesPool(l.pool, final)
 	}
 
 	// Publish the winning run: final objective/delta gauges and the
@@ -301,6 +330,61 @@ func (l *Learner) Fit(x *mat.Dense, y []float64) (*Result, error) {
 	return out, nil
 }
 
+// runStarts executes one EM run per starting point and returns the run
+// with the best final objective (first-best on ties, in start order —
+// the same selection the sequential loop makes). With a multi-worker
+// pool the starts run concurrently on their own goroutines, each on a
+// private clone of the problem (own loss scratch and inner-solver
+// stats); each run's computation is unchanged, so the winner is
+// bit-identical to the sequential path.
+func (l *Learner) runStarts(prob *drdpProblem) em.Result {
+	starts := l.startingPoints()
+	opts := func(i int, p *drdpProblem) em.Options {
+		return em.Options{MaxIters: l.emIters, Tol: l.emTol, OnIter: l.iterHook(i, p)}
+	}
+	runs := make([]em.Result, len(starts))
+	if l.pool.Workers() > 1 && len(starts) > 1 {
+		telemetry.CoreParallelStarts.Add(float64(len(starts)))
+		var (
+			wg      sync.WaitGroup
+			panicMu sync.Mutex
+			panicV  any
+		)
+		wg.Add(len(starts))
+		for i, start := range starts {
+			go func(i int, start mat.Vec) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicV == nil {
+							panicV = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				p := prob.clone()
+				runs[i] = em.Run[[]float64](p, start, opts(i, p))
+			}(i, start)
+		}
+		wg.Wait()
+		if panicV != nil {
+			panic(panicV)
+		}
+	} else {
+		for i, start := range starts {
+			runs[i] = em.Run[[]float64](prob, start, opts(i, prob))
+		}
+	}
+	best := runs[0]
+	for _, run := range runs[1:] {
+		if run.Objective < best.Objective {
+			best = run
+		}
+	}
+	return best
+}
+
 // Predict returns the model prediction for one feature vector under the
 // fitted parameters.
 func (l *Learner) Predict(params mat.Vec, x mat.Vec) float64 {
@@ -311,8 +395,8 @@ func (l *Learner) Predict(params mat.Vec, x mat.Vec) float64 {
 // configured uncertainty ball centered at the empirical distribution of
 // (x, y) — an out-of-sample robustness certificate.
 func (l *Learner) Certificate(params mat.Vec, x *mat.Dense, y []float64) float64 {
-	losses := l.model.Losses(params, x, y, nil)
-	v, _ := l.set.WorstCase(losses, l.lipschitz(params))
+	losses := model.ParLosses(l.pool, l.model, params, x, y, nil)
+	v, _ := l.set.WorstCasePool(l.pool, losses, l.lipschitz(params))
 	return v
 }
 
@@ -369,9 +453,22 @@ type drdpProblem struct {
 
 var _ em.Problem[[]float64] = (*drdpProblem)(nil)
 
+// clone returns a problem sharing the learner and data but with private
+// scratch, so parallel multi-start runs never race on the loss buffer or
+// the inner-solver stats.
+func (p *drdpProblem) clone() *drdpProblem {
+	return &drdpProblem{
+		learner: p.learner,
+		x:       p.x,
+		y:       p.y,
+		tau:     p.tau,
+		losses:  make([]float64, len(p.losses)),
+	}
+}
+
 // EStep computes prior responsibilities at the current iterate.
 func (p *drdpProblem) EStep(theta []float64) []float64 {
-	return p.learner.prior.Responsibilities(theta)
+	return p.learner.prior.ResponsibilitiesPool(p.learner.pool, theta)
 }
 
 // MStep minimizes the convex surrogate
@@ -405,9 +502,9 @@ func (p *drdpProblem) mStep(theta mat.Vec, gamma []float64) mat.Vec {
 		return p.lbfgsMStep(theta, scaled)
 	}
 	f := func(th mat.Vec, grad mat.Vec) float64 {
-		mdl.Losses(th, p.x, p.y, p.losses)
+		model.ParLosses(l.pool, mdl, th, p.x, p.y, p.losses)
 		lip := l.lipschitz(th)
-		value, weights := l.set.WorstCase(p.losses, lip)
+		value, weights := l.set.WorstCasePool(l.pool, p.losses, lip)
 		if scaled != nil {
 			value += l.prior.SurrogateValue(th, scaled)
 		}
@@ -415,7 +512,7 @@ func (p *drdpProblem) mStep(theta mat.Vec, gamma []float64) mat.Vec {
 			mat.Fill(grad, 0)
 			// Danskin: gradient through the worst-case weights; normalize
 			// by n is built into weights (they sum to 1).
-			mdl.WeightedGrad(th, p.x, p.y, weights, grad)
+			model.ParWeightedGrad(l.pool, mdl, th, p.x, p.y, weights, grad)
 			if rho := l.set.ThetaPenalty(); rho > 0 {
 				l.lipschitzGrad(th, rho, grad)
 			}
@@ -433,8 +530,8 @@ func (p *drdpProblem) mStep(theta mat.Vec, gamma []float64) mat.Vec {
 // Objective evaluates the true DRDP objective (robust loss + τ·(−log p)).
 func (p *drdpProblem) objective(theta mat.Vec) float64 {
 	l := p.learner
-	l.model.Losses(theta, p.x, p.y, p.losses)
-	v, _ := l.set.WorstCase(p.losses, l.lipschitz(theta))
+	model.ParLosses(l.pool, l.model, theta, p.x, p.y, p.losses)
+	v, _ := l.set.WorstCasePool(l.pool, p.losses, l.lipschitz(theta))
 	if l.prior != nil {
 		v += p.tau * -l.prior.LogDensity(theta)
 	}

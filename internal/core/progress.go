@@ -33,9 +33,11 @@ type Progress struct {
 }
 
 // WithProgress registers a callback invoked after every EM iteration of
-// every start during Fit. The callback runs synchronously on the fitting
-// goroutine; keep it cheap. Telemetry counters and gauges
-// (drdp_core_*) are updated regardless of whether a callback is set.
+// every start during Fit. Callbacks are serialized (never concurrent),
+// but with WithParallelism the multi-start runs interleave, so events
+// from different Start indexes may arrive in any order; keep the
+// callback cheap. Telemetry counters and gauges (drdp_core_*) are
+// updated regardless of whether a callback is set.
 func WithProgress(fn func(Progress)) Option {
 	return func(l *Learner) error {
 		l.progress = fn
@@ -60,8 +62,11 @@ func (l *Learner) iterHook(start int, prob *drdpProblem) func(em.Iteration) {
 }
 
 // recordIteration publishes one iteration to telemetry and the user
-// callback.
+// callback, serialized across parallel multi-start runs and concurrent
+// Fit calls.
 func (l *Learner) recordIteration(p Progress) {
+	l.progressMu.Lock()
+	defer l.progressMu.Unlock()
 	telemetry.CoreEMIterations.Inc()
 	telemetry.CoreMStepIters.Add(float64(p.MStepIters))
 	telemetry.CoreObjective.Set(p.Objective)

@@ -48,14 +48,14 @@ func (p *drdpProblem) lbfgsMStep(theta mat.Vec, scaled []float64) mat.Vec {
 	l := p.learner
 	mdl := l.model
 	f := func(th mat.Vec, grad mat.Vec) float64 {
-		mdl.Losses(th, p.x, p.y, p.losses)
-		value, weights := l.set.WorstCase(p.losses, l.lipschitz(th))
+		model.ParLosses(l.pool, mdl, th, p.x, p.y, p.losses)
+		value, weights := l.set.WorstCasePool(l.pool, p.losses, l.lipschitz(th))
 		if scaled != nil {
 			value += l.prior.SurrogateValue(th, scaled)
 		}
 		if grad != nil {
 			mat.Fill(grad, 0)
-			mdl.WeightedGrad(th, p.x, p.y, weights, grad)
+			model.ParWeightedGrad(l.pool, mdl, th, p.x, p.y, weights, grad)
 			if rho := l.set.ThetaPenalty(); rho > 0 {
 				l.lipschitzGrad(th, rho, grad)
 			}
@@ -88,14 +88,14 @@ func (p *drdpProblem) proximalMStep(theta mat.Vec, scaled []float64) mat.Vec {
 	}
 
 	f := func(th mat.Vec, grad mat.Vec) float64 {
-		mdl.Losses(th, p.x, p.y, p.losses)
-		value, weights := smoothSet.WorstCase(p.losses, 0)
+		model.ParLosses(l.pool, mdl, th, p.x, p.y, p.losses)
+		value, weights := smoothSet.WorstCasePool(l.pool, p.losses, 0)
 		if scaled != nil {
 			value += l.prior.SurrogateValue(th, scaled)
 		}
 		if grad != nil {
 			mat.Fill(grad, 0)
-			mdl.WeightedGrad(th, p.x, p.y, weights, grad)
+			model.ParWeightedGrad(l.pool, mdl, th, p.x, p.y, weights, grad)
 			if scaled != nil {
 				l.prior.SurrogateGrad(th, scaled, grad)
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
 )
 
@@ -73,8 +74,8 @@ func (p *drdpProblem) stochasticMStep(theta mat.Vec, scaled []float64) mat.Vec {
 			// Batch-level worst case: losses on the batch only.
 			bl := bLosses[:len(idx)]
 			bx, by := p.batchView(idx)
-			mdl.Losses(out, bx, by, bl)
-			_, w := l.set.WorstCase(bl, l.lipschitz(out))
+			model.ParLosses(l.pool, mdl, out, bx, by, bl)
+			_, w := l.set.WorstCasePool(l.pool, bl, l.lipschitz(out))
 			// Scatter batch weights into the full-weight vector.
 			for i := range weights {
 				weights[i] = 0
@@ -83,7 +84,7 @@ func (p *drdpProblem) stochasticMStep(theta mat.Vec, scaled []float64) mat.Vec {
 				weights[i] = w[k]
 			}
 			mat.Fill(grad, 0)
-			mdl.WeightedGrad(out, p.x, p.y, weights, grad)
+			model.ParWeightedGrad(l.pool, mdl, out, p.x, p.y, weights, grad)
 			if rho := l.set.ThetaPenalty(); rho > 0 {
 				l.lipschitzGrad(out, rho, grad)
 			}

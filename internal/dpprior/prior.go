@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/parallel"
 	"github.com/drdp/drdp/internal/stat"
 )
 
@@ -160,17 +161,30 @@ func (c *Compiled) LogDensity(theta mat.Vec) float64 {
 // γ_k ∝ w_k N(θ; μ_k, Σ_k) at the current iterate θ; the final entry is
 // the base-measure responsibility. The result sums to 1.
 func (c *Compiled) Responsibilities(theta mat.Vec) []float64 {
-	lp := c.componentLogJoint(theta)
+	return c.ResponsibilitiesPool(nil, theta)
+}
+
+// ResponsibilitiesPool is Responsibilities with the per-component
+// Gaussian density evaluations fanned out on the pool. Each component
+// writes its own slot of the log-joint vector and the softmax runs
+// serially, so the result is bit-identical to the nil-pool (inline)
+// path at any worker count.
+func (c *Compiled) ResponsibilitiesPool(p *parallel.Pool, theta mat.Vec) []float64 {
+	lp := c.componentLogJointPool(p, theta)
 	return mat.Softmax(lp, lp)
 }
 
 // componentLogJoint returns log w_k + log N(θ; μ_k, Σ_k) per component,
 // with the base measure appended.
 func (c *Compiled) componentLogJoint(theta mat.Vec) []float64 {
+	return c.componentLogJointPool(nil, theta)
+}
+
+func (c *Compiled) componentLogJointPool(p *parallel.Pool, theta mat.Vec) []float64 {
 	lp := make([]float64, len(c.comps)+1)
-	for i, mv := range c.comps {
-		lp[i] = c.logW[i] + mv.LogPDF(theta)
-	}
+	p.ForEach(len(c.comps), func(i int) {
+		lp[i] = c.logW[i] + c.comps[i].LogPDF(theta)
+	})
 	base := c.logW[len(c.comps)]
 	if !math.IsInf(base, -1) {
 		base += stat.LogNormPDF(theta, make(mat.Vec, c.Prior.Dim), c.Prior.BaseSigma)

@@ -17,11 +17,18 @@
 // The package works on per-sample loss values, so it is agnostic to the
 // model; gradients of the robust objective follow from Danskin's theorem
 // using the returned worst-case weights.
+//
+// All loss-vector sums run on the fixed chunk grid of package parallel
+// and combine partials with its fixed-order tree reduction, so every
+// solver here is bit-for-bit deterministic at any worker count; pass a
+// pool to WorstCasePool to actually fan the passes out.
 package dro
 
 import (
 	"fmt"
 	"math"
+
+	"github.com/drdp/drdp/internal/parallel"
 )
 
 // Kind selects the geometry of the uncertainty ball.
@@ -101,26 +108,34 @@ func (s Set) Validate() error {
 // Danskin's theorem, ∇ worst-case = Σ_i q_i ∇ℓ_i (+ the parameter penalty
 // term for Wasserstein, which the caller adds via ThetaPenalty).
 func (s Set) WorstCase(losses []float64, lipschitz float64) (value float64, weights []float64) {
+	return s.WorstCasePool(nil, losses, lipschitz)
+}
+
+// WorstCasePool is WorstCase with the O(n) passes over the loss vector
+// (means, exponential-tilt sums, water-filling passes) fanned out on the
+// pool. A nil pool runs inline through the identical chunk grid, so the
+// result is bit-for-bit the same at any parallelism.
+func (s Set) WorstCasePool(p *parallel.Pool, losses []float64, lipschitz float64) (value float64, weights []float64) {
 	if len(losses) == 0 {
 		panic("dro: WorstCase: empty losses")
 	}
 	n := len(losses)
 	switch s.Kind {
 	case None:
-		return meanOf(losses), uniform(n)
+		return meanPool(p, losses), uniform(n)
 	case Wasserstein:
-		return meanOf(losses) + s.Rho*lipschitz, uniform(n)
+		return meanPool(p, losses) + s.Rho*lipschitz, uniform(n)
 	case KL:
 		if s.Rho == 0 {
-			return meanOf(losses), uniform(n)
+			return meanPool(p, losses), uniform(n)
 		}
-		v, w, _ := KLWorstCase(losses, s.Rho)
+		v, w, _ := klWorstCase(p, losses, s.Rho)
 		return v, w
 	case Chi2:
 		if s.Rho == 0 {
-			return meanOf(losses), uniform(n)
+			return meanPool(p, losses), uniform(n)
 		}
-		return Chi2WorstCase(losses, s.Rho)
+		return chi2WorstCase(p, losses, s.Rho)
 	default:
 		panic(fmt.Sprintf("dro: WorstCase: unknown kind %d", int(s.Kind)))
 	}
@@ -136,12 +151,8 @@ func (s Set) ThetaPenalty() float64 {
 	return 0
 }
 
-func meanOf(x []float64) float64 {
-	var t float64
-	for _, v := range x {
-		t += v
-	}
-	return t / float64(len(x))
+func meanPool(p *parallel.Pool, x []float64) float64 {
+	return p.SumChunked(len(x), func(i int) float64 { return x[i] }) / float64(len(x))
 }
 
 func uniform(n int) []float64 {
@@ -152,46 +163,115 @@ func uniform(n int) []float64 {
 	return w
 }
 
+// scanLosses returns the extrema of losses plus a NaN flag, computed per
+// chunk and combined with the (order-independent) max/min, so pooled and
+// inline scans agree exactly.
+func scanLosses(p *parallel.Pool, losses []float64) (minL, maxL float64, hasNaN bool) {
+	chunks := parallel.Chunks(len(losses))
+	mins := make([]float64, chunks)
+	maxs := make([]float64, chunks)
+	nans := make([]bool, chunks)
+	p.ForEachChunk(len(losses), func(c, lo, hi int) {
+		mn, mx, nan := losses[lo], losses[lo], math.IsNaN(losses[lo])
+		for _, v := range losses[lo+1 : hi] {
+			if math.IsNaN(v) {
+				nan = true
+				continue
+			}
+			if v > mx || math.IsNaN(mx) {
+				mx = v
+			}
+			if v < mn || math.IsNaN(mn) {
+				mn = v
+			}
+		}
+		mins[c], maxs[c], nans[c] = mn, mx, nan
+	})
+	minL, maxL, hasNaN = mins[0], maxs[0], nans[0]
+	for c := 1; c < chunks; c++ {
+		hasNaN = hasNaN || nans[c]
+		if maxs[c] > maxL || math.IsNaN(maxL) {
+			maxL = maxs[c]
+		}
+		if mins[c] < minL || math.IsNaN(minL) {
+			minL = mins[c]
+		}
+	}
+	return minL, maxL, hasNaN
+}
+
 // KLWorstCase solves  sup_{Q: KL(Q||P̂)≤ρ} E_Q[ℓ]  by its dual
 //
 //	min_{λ>0} λρ + λ log (1/n) Σ_i exp(ℓ_i/λ)
 //
 // returning the worst-case value, the tilted weights q_i ∝ e^{ℓ_i/λ*},
 // and the optimal dual variable λ*.
+//
+// Degenerate inputs resolve without tilting: when the loss spread is
+// below measurement precision (≤ klDegenerateRel relative to the loss
+// magnitude) every distribution in the ball has the same mean, and the
+// result is maxL with uniform weights and λ = +Inf. The same uniform
+// fallback applies when any loss is non-finite — the value is then ±Inf
+// or NaN as the data dictates, but the weights stay a safe mean-gradient
+// direction instead of NaN poison.
 func KLWorstCase(losses []float64, rho float64) (value float64, weights []float64, lambda float64) {
+	return klWorstCase(nil, losses, rho)
+}
+
+// klDegenerateRel is the relative spread below which KL tilting is
+// numerically meaningless. A spread at rounding-noise level (~1e-16 of
+// the loss magnitude) cannot pin down λ*: the dual differences vanish
+// under the maxL term and the bracket search would return an arbitrary
+// tiny λ whose "tilted" weights are a point mass — violating the KL ball
+// whenever ρ < log n, and jumping discontinuously from the uniform
+// weights returned just below the cutoff. Declaring the spread
+// degenerate three decades above noise keeps the weight map continuous:
+// the true tilt at such spreads differs from uniform by O(spread/ρ).
+const klDegenerateRel = 1e-12
+
+func klWorstCase(p *parallel.Pool, losses []float64, rho float64) (value float64, weights []float64, lambda float64) {
 	if rho <= 0 {
 		panic(fmt.Sprintf("dro: KLWorstCase: rho %g must be positive", rho))
 	}
 	n := len(losses)
-	maxL, minL := losses[0], losses[0]
-	for _, v := range losses[1:] {
-		if v > maxL {
-			maxL = v
-		}
-		if v < minL {
-			minL = v
-		}
+	minL, maxL, hasNaN := scanLosses(p, losses)
+	if hasNaN {
+		return math.NaN(), uniform(n), math.Inf(1)
+	}
+	if math.IsInf(maxL, 0) || math.IsInf(minL, 0) {
+		return maxL, uniform(n), math.Inf(1)
 	}
 	spread := maxL - minL
-	if spread < 1e-15 {
+	if math.IsInf(spread, 1) {
+		// Finite extrema whose difference overflows: clamp so the
+		// bracket stays representable; the search below degrades to
+		// "concentrate on the max", which is the right limit.
+		spread = math.MaxFloat64
+	}
+	if spread <= klDegenerateRel*(1+math.Abs(maxL)) {
 		// Degenerate: every distribution in the ball has the same mean.
 		return maxL, uniform(n), math.Inf(1)
 	}
 
 	dual := func(lam float64) float64 {
-		// Stable λ log mean exp(ℓ/λ): factor out the max.
-		var s float64
-		for _, v := range losses {
-			s += math.Exp((v - maxL) / lam)
-		}
+		// Stable λ log mean exp(ℓ/λ): factor out the max. The summand
+		// exponent is ≤ 0, so the sum is in [1, n] and never overflows.
+		s := p.SumChunked(n, func(i int) float64 {
+			return math.Exp((losses[i] - maxL) / lam)
+		})
 		return lam*rho + maxL + lam*math.Log(s/float64(n))
 	}
 
 	// The dual is convex in λ; bracket the minimizer on a log grid then
-	// refine by golden-section search.
+	// refine by golden-section search. Cap the grid so lam *= 4 can
+	// never overflow to +Inf (which would loop forever: Inf <= Inf).
 	lo, hi := spread*1e-6, spread*1e6/math.Max(rho, 1e-12)
+	const hiCap = math.MaxFloat64 / 8
+	if !(hi < hiCap) {
+		hi = hiCap
+	}
 	bestLam, bestVal := lo, dual(lo)
-	for lam := lo; lam <= hi; lam *= 4 {
+	for lam := lo * 4; lam <= hi; lam *= 4 {
 		if v := dual(lam); v < bestVal {
 			bestVal, bestLam = v, lam
 		}
@@ -202,16 +282,20 @@ func KLWorstCase(losses []float64, rho float64) (value float64, weights []float6
 	// loss; clamp away the residual λρ overshoot from bracketing λ > 0.
 	value = math.Min(dual(lambda), maxL)
 
-	// Tilted weights at λ*.
+	// Tilted weights at λ*. The argmax entries contribute exp(0) = 1, so
+	// the normalizer is ≥ 1 and the division is always safe.
 	weights = make([]float64, n)
-	var z float64
-	for i, v := range losses {
-		weights[i] = math.Exp((v - maxL) / lambda)
-		z += weights[i]
-	}
-	for i := range weights {
-		weights[i] /= z
-	}
+	p.ForEachChunk(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			weights[i] = math.Exp((losses[i] - maxL) / lambda)
+		}
+	})
+	z := p.SumChunked(n, func(i int) float64 { return weights[i] })
+	p.ForEachChunk(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			weights[i] /= z
+		}
+	})
 	return value, weights, lambda
 }
 
@@ -222,54 +306,113 @@ func KLWorstCase(losses []float64, rho float64) (value float64, weights []float6
 // exactly via an active-set pass: unconstrained the optimum is
 // q = 1/n + δ with δ ∝ centered losses scaled to the ball boundary; any
 // weights driven negative are clamped to zero and the remainder re-solved.
+//
+// Non-finite losses take the same uniform-weight fallback as KLWorstCase.
 func Chi2WorstCase(losses []float64, rho float64) (value float64, weights []float64) {
+	return chi2WorstCase(nil, losses, rho)
+}
+
+func chi2WorstCase(p *parallel.Pool, losses []float64, rho float64) (value float64, weights []float64) {
 	if rho <= 0 {
 		panic(fmt.Sprintf("dro: Chi2WorstCase: rho %g must be positive", rho))
 	}
 	n := len(losses)
+	_, maxL, hasNaN := scanLosses(p, losses)
+	if hasNaN {
+		return math.NaN(), uniform(n)
+	}
+	if math.IsInf(maxL, 1) {
+		return maxL, uniform(n)
+	}
 	active := make([]bool, n) // true = clamped to zero
 	weights = make([]float64, n)
 
 	for pass := 0; pass < n; pass++ {
 		// Solve on the free set.
 		var m int
-		var mean float64
-		for i, v := range losses {
-			if !active[i] {
-				mean += v
+		for _, a := range active {
+			if !a {
 				m++
 			}
 		}
 		if m == 0 {
 			break
 		}
-		mean /= float64(m)
-		var ss float64
-		for i, v := range losses {
-			if !active[i] {
-				d := v - mean
-				ss += d * d
-			}
-		}
-		// Total mass on the free set is 1; uniform part 1/m each, tilt
-		// proportional to centered loss with magnitude set by the radius.
-		// Ball constraint in terms of δ: (n/2) Σ δ_i² ≤ ρ (approximating
-		// the clamped coordinates' contribution as fixed), so
-		// ‖δ‖ = sqrt(2ρ/n) along the centered-loss direction.
-		scale := 0.0
-		if ss > 0 {
-			scale = math.Sqrt(2*rho/float64(n)) / math.Sqrt(ss)
-		}
-		negative := false
-		for i, v := range losses {
+		mean := p.SumChunked(n, func(i int) float64 {
 			if active[i] {
-				weights[i] = 0
-				continue
+				return 0
 			}
-			weights[i] = 1/float64(m) + scale*(v-mean)
-			if weights[i] < 0 {
-				negative = true
+			return losses[i]
+		}) / float64(m)
+		if math.IsInf(mean, 0) || math.IsNaN(mean) {
+			// The free-set sum overflowed (losses near ±MaxFloat64):
+			// centered deviations would be NaN. Give up on tilting.
+			return maxL, uniform(n)
+		}
+		// Largest centered deviation, for an overflow-safe sum of
+		// squares: Σ d² computed directly overflows once |d| exceeds
+		// ~1e154 and would zero the tilt for exactly the losses that
+		// most deserve one.
+		devs := make([]float64, parallel.Chunks(n))
+		p.ForEachChunk(n, func(c, lo, hi int) {
+			var mx float64
+			for i := lo; i < hi; i++ {
+				if !active[i] {
+					if d := math.Abs(losses[i] - mean); d > mx {
+						mx = d
+					}
+				}
 			}
+			devs[c] = mx
+		})
+		var maxDev float64
+		for _, d := range devs {
+			if d > maxDev {
+				maxDev = d
+			}
+		}
+		scale := 0.0
+		if maxDev > 0 {
+			ssScaled := p.SumChunked(n, func(i int) float64 {
+				if active[i] {
+					return 0
+				}
+				d := (losses[i] - mean) / maxDev
+				return d * d
+			})
+			norm := maxDev * math.Sqrt(ssScaled)
+			// KKT solution on the free set: q_i = 1/m + β(ℓ_i − mean)
+			// with β set by the active ball constraint. Each clamped
+			// coordinate contributes a fixed (n·0 − 1)² = 1 to the χ²
+			// sum and the 1/m-vs-1/n offset of the free coordinates
+			// another (n−m)·n/m, so the budget left for the tilt is
+			// 2nρ − (n−m)·n/m; ignoring that cost (as a prior version
+			// did) returns weights outside the ball once clamping
+			// starts.
+			nf, mf := float64(n), float64(m)
+			budget := 2*nf*rho - (nf-mf)*nf/mf
+			if budget > 0 && !math.IsInf(norm, 1) {
+				scale = math.Sqrt(budget) / (nf * norm)
+			}
+		}
+		negatives := make([]bool, parallel.Chunks(n))
+		p.ForEachChunk(n, func(c, lo, hi int) {
+			neg := false
+			for i := lo; i < hi; i++ {
+				if active[i] {
+					weights[i] = 0
+					continue
+				}
+				weights[i] = 1/float64(m) + scale*(losses[i]-mean)
+				if weights[i] < 0 {
+					neg = true
+				}
+			}
+			negatives[c] = neg
+		})
+		negative := false
+		for _, neg := range negatives {
+			negative = negative || neg
 		}
 		if !negative {
 			break
@@ -281,20 +424,24 @@ func Chi2WorstCase(losses []float64, rho float64) (value float64, weights []floa
 		}
 	}
 	// Project residual numerical error back to the simplex.
-	var z float64
-	for _, w := range weights {
-		if w > 0 {
-			z += w
+	z := p.SumChunked(n, func(i int) float64 {
+		if weights[i] > 0 {
+			return weights[i]
 		}
+		return 0
+	})
+	if z <= 0 || math.IsInf(z, 0) || math.IsNaN(z) {
+		return maxL, uniform(n)
 	}
-	value = 0
-	for i := range weights {
-		if weights[i] < 0 {
-			weights[i] = 0
+	p.ForEachChunk(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if weights[i] < 0 {
+				weights[i] = 0
+			}
+			weights[i] /= z
 		}
-		weights[i] /= z
-		value += weights[i] * losses[i]
-	}
+	})
+	value = p.SumChunked(n, func(i int) float64 { return weights[i] * losses[i] })
 	return value, weights
 }
 

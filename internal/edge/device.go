@@ -90,6 +90,10 @@ type Device struct {
 	Tau float64
 	// EMIters bounds the EM loop (0 = learner default).
 	EMIters int
+	// Parallelism fans the training hot paths over that many workers
+	// with bit-identical results; 0 keeps the inline serial path and
+	// < 0 picks GOMAXPROCS.
+	Parallelism int
 	// Cache, when non-nil, stores the last good prior: fetches become
 	// conditional (version handshake), and a transport failure falls back
 	// to the cached prior instead of failing the round.
@@ -113,6 +117,9 @@ func (d *Device) TrainWithPrior(prior *dpprior.Prior, x *mat.Dense, y []float64)
 	}
 	if d.Tau > 0 {
 		opts = append(opts, core.WithPriorWeight(d.Tau))
+	}
+	if d.Parallelism != 0 {
+		opts = append(opts, core.WithParallelism(d.Parallelism))
 	}
 	if d.EMIters > 0 {
 		opts = append(opts, core.WithEMIters(d.EMIters, 0))

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/drdp/drdp/internal/dro"
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// Table13Parallel measures the data-parallel training core: wall-clock
+// of one gradient-dominated DRDP fit at increasing worker counts, the
+// speedup over the serial path, and — the determinism invariant — whether
+// the fitted parameters are bit-for-bit identical to the serial result.
+// The `identical` column must read yes at every worker count on every
+// machine; speedup depends on available cores.
+func Table13Parallel(cfg RunConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := 20000
+	if cfg.Fast {
+		n = 4000
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	if cfg.Parallelism > 8 {
+		workerCounts = append(workerCounts, cfg.Parallelism)
+	}
+
+	tab := &Table{
+		Title:   fmt.Sprintf("Table 13: data-parallel training (n=%d, Wasserstein+prior)", n),
+		Columns: []string{"parallelism", "fit_seconds", "speedup", "identical"},
+	}
+
+	b, err := cfg.scenario(cfg.Seed).Build()
+	if err != nil {
+		return nil, err
+	}
+	train, _ := b.EdgeData(n, 10)
+
+	var serialSeconds float64
+	var serialParams mat.Vec
+	for _, workers := range workerCounts {
+		tr := DRDPTrainer{
+			Model:       b.Model,
+			Set:         dro.Set{Kind: dro.Wasserstein, Rho: 0.05},
+			Prior:       b.Compiled,
+			EMIters:     3,
+			Parallelism: workers,
+		}
+		var secs []float64
+		var params mat.Vec
+		for rep := 0; rep < cfg.Reps; rep++ {
+			t0 := time.Now()
+			params, err = tr.Train(train.X, train.Y)
+			if err != nil {
+				return nil, fmt.Errorf("table13: parallelism=%d: %w", workers, err)
+			}
+			secs = append(secs, time.Since(t0).Seconds())
+		}
+		best := secs[0]
+		for _, s := range secs[1:] {
+			if s < best {
+				best = s
+			}
+		}
+		if workers == 1 {
+			serialSeconds = best
+			serialParams = params
+		}
+		identical := "yes"
+		for i := range params {
+			if math.Float64bits(params[i]) != math.Float64bits(serialParams[i]) {
+				identical = "NO"
+				break
+			}
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.4f", best),
+			fmt.Sprintf("%.2fx", serialSeconds/best),
+			identical,
+		)
+	}
+	return tab, nil
+}

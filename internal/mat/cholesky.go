@@ -10,16 +10,43 @@ import (
 // symmetric positive definite even after jitter escalation.
 var ErrNotPSD = errors.New("mat: matrix is not positive definite")
 
+// ErrNotFinite reports that a matrix handed to Cholesky contained NaN or
+// ±Inf entries. No amount of diagonal jitter repairs this, so jitter
+// escalation fails fast on it.
+var ErrNotFinite = errors.New("mat: matrix has non-finite entries")
+
 // Cholesky holds a lower-triangular factor L with A = L Lᵀ.
 type Cholesky struct {
 	L *Dense // lower triangular, upper part zero
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a.
-// It fails with ErrNotPSD when a is not numerically PD.
+// It fails with ErrNotPSD when a is not numerically PD — including when
+// a pivot is positive but below working precision relative to the
+// matrix scale (n·eps·max diag), where the factor would be dominated by
+// rounding noise and solves would silently amplify it — and with
+// ErrNotFinite when a contains NaN or ±Inf entries.
 func NewCholesky(a *Dense) (*Cholesky, error) {
 	a.checkSquare("Cholesky")
 	n := a.Rows
+	var maxDiag float64
+	for i, v := range a.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: entry (%d,%d) is %g", ErrNotFinite, i/a.Cols, i%a.Cols, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d := a.Data[i*n+i]; d > maxDiag {
+			maxDiag = d
+		}
+	}
+	// Relative pivot floor: a rank-deficient matrix rarely produces an
+	// exactly-zero pivot in floating point — cancellation leaves a tiny
+	// residual of either sign at the roundoff scale of the entries that
+	// cancelled. Accepting such a pivot yields 1/sqrt(residual) factors
+	// of pure noise.
+	const eps = 0x1p-52
+	tol := float64(n) * eps * maxDiag
 	l := NewDense(n, n)
 	for j := 0; j < n; j++ {
 		var d float64
@@ -28,8 +55,8 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			d += v * v
 		}
 		d = a.Data[j*n+j] - d
-		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPSD, j, d)
+		if d <= tol || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g (tolerance %g)", ErrNotPSD, j, d, tol)
 		}
 		ljj := math.Sqrt(d)
 		l.Data[j*n+j] = ljj
@@ -46,13 +73,19 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 
 // NewCholeskyJitter factors a, escalating a diagonal jitter from jitter0
 // by factors of 10 up to maxTries times until the factorization succeeds.
-// It returns the factor and the jitter that was finally applied.
+// It returns the factor and the jitter that was finally applied. A matrix
+// with non-finite entries fails immediately with ErrNotFinite — jitter
+// only repairs rank deficiency, not NaN/Inf poison.
 func NewCholeskyJitter(a *Dense, jitter0 float64, maxTries int) (*Cholesky, float64, error) {
 	if jitter0 <= 0 {
 		jitter0 = 1e-10
 	}
-	if ch, err := NewCholesky(a); err == nil {
+	ch, err := NewCholesky(a)
+	if err == nil {
 		return ch, 0, nil
+	}
+	if errors.Is(err, ErrNotFinite) {
+		return nil, 0, err
 	}
 	jitter := jitter0
 	for try := 0; try < maxTries; try++ {

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCholeskySPD(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("SPD matrix rejected: %v", err)
+	}
+	x := ch.SolveVec(Vec{1, 2})
+	// Verify A x = b.
+	b := a.MulVec(x)
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Errorf("solve residual: A x = %v, want [1 2]", b)
+	}
+}
+
+// TestCholeskyRankDeficient is the silent-garbage regression: an exactly
+// rank-deficient matrix reaches the deficient pivot as a tiny roundoff
+// residual of either sign, not exactly zero, and the old `d <= 0` check
+// let positive residuals through — producing 1/sqrt(noise) factors whose
+// solves were garbage with no error. The relative pivot tolerance must
+// reject all of these.
+func TestCholeskyRankDeficient(t *testing.T) {
+	// vvᵀ has rank 1; entries chosen so cancellation leaves a nonzero
+	// residual at pivot 1.
+	v := Vec{1.1, 0.7, 0.31}
+	a := NewDense(3, 3)
+	a.OuterAdd(1, v, v)
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotPSD) {
+		t.Fatalf("rank-1 vvᵀ accepted (err=%v); factor would be rounding noise", err)
+	}
+
+	if _, err := NewCholesky(FromRows([][]float64{{1, 1}, {1, 1}})); !errors.Is(err, ErrNotPSD) {
+		t.Fatalf("singular all-ones matrix accepted (err=%v)", err)
+	}
+
+	// Indefinite must keep failing too.
+	if _, err := NewCholesky(FromRows([][]float64{{1, 2}, {2, 1}})); !errors.Is(err, ErrNotPSD) {
+		t.Fatalf("indefinite matrix accepted (err=%v)", err)
+	}
+}
+
+func TestCholeskyTinyScaleStillAccepted(t *testing.T) {
+	// The pivot floor is relative: a well-conditioned matrix at a tiny
+	// absolute scale must still factor.
+	a := FromRows([][]float64{{1e-200, 0}, {0, 2e-200}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("tiny-scale SPD matrix rejected: %v", err)
+	}
+	if got := ch.L.At(0, 0); math.Abs(got-1e-100) > 1e-112 {
+		t.Errorf("L00 = %g, want 1e-100", got)
+	}
+}
+
+func TestCholeskyNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a := FromRows([][]float64{{1, 0}, {0, bad}})
+		if _, err := NewCholesky(a); !errors.Is(err, ErrNotFinite) {
+			t.Errorf("matrix with %g accepted (err=%v)", bad, err)
+		}
+		// Jitter cannot repair non-finite input and must fail fast with
+		// the same sentinel instead of escalating.
+		if _, _, err := NewCholeskyJitter(a, 1e-10, 8); !errors.Is(err, ErrNotFinite) {
+			t.Errorf("jitter on matrix with %g returned err=%v, want ErrNotFinite", bad, err)
+		}
+	}
+}
+
+func TestCholeskyJitterRecoversRankDeficient(t *testing.T) {
+	v := Vec{1, 2, 3}
+	a := NewDense(3, 3)
+	a.OuterAdd(1, v, v)
+	ch, jitter, err := NewCholeskyJitter(a, 1e-8, 10)
+	if err != nil {
+		t.Fatalf("jitter escalation failed on rank-1 matrix: %v", err)
+	}
+	if jitter <= 0 {
+		t.Fatalf("rank-deficient matrix factored without jitter (jitter=%g)", jitter)
+	}
+	// The recovered factor must be finite and usable.
+	if ld := ch.LogDet(); math.IsNaN(ld) || math.IsInf(ld, 0) {
+		t.Errorf("jittered factor has non-finite log det %g", ld)
+	}
+	x := ch.SolveVec(Vec{1, 1, 1})
+	for i, xi := range x {
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			t.Errorf("jittered solve produced non-finite x[%d] = %g", i, xi)
+		}
+	}
+}

@@ -75,6 +75,16 @@ func (m *Dense) Row(i int) Vec {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
+// RowSlice returns rows [from, to) as a matrix view aliasing the
+// storage of m — the chunk shape the parallel evaluation layer feeds to
+// per-sample kernels. Mutating the view mutates m.
+func (m *Dense) RowSlice(from, to int) *Dense {
+	if from < 0 || to < from || to > m.Rows {
+		panic(fmt.Sprintf("mat: RowSlice: range [%d,%d) out of [0,%d)", from, to, m.Rows))
+	}
+	return &Dense{Rows: to - from, Cols: m.Cols, Data: m.Data[from*m.Cols : to*m.Cols]}
+}
+
 // Col returns column j as a fresh slice.
 func (m *Dense) Col(j int) Vec {
 	if j < 0 || j >= m.Cols {

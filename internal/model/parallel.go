@@ -1,0 +1,53 @@
+package model
+
+import (
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/parallel"
+)
+
+// ParLosses is the data-parallel form of Model.Losses: rows are split
+// on the fixed parallel chunk grid and each chunk's losses are written
+// into its disjoint slice of out. Per-sample values are computed by the
+// same kernel as the serial path, so the result is bit-identical to
+// m.Losses at any worker count (writes never meet, no reduction).
+func ParLosses(p *parallel.Pool, m Model, params mat.Vec, x *mat.Dense, y []float64, out []float64) []float64 {
+	checkParams(m, params)
+	checkData(m, x, y)
+	out = ensureOut(out, x.Rows)
+	if parallel.Chunks(x.Rows) <= 1 {
+		return m.Losses(params, x, y, out)
+	}
+	p.ForEachChunk(x.Rows, func(_, lo, hi int) {
+		m.Losses(params, x.RowSlice(lo, hi), y[lo:hi], out[lo:hi])
+	})
+	return out
+}
+
+// ParWeightedGrad is the data-parallel form of Model.WeightedGrad:
+// each chunk accumulates Σ_{i∈chunk} w_i ∇ℓ_i into a chunk-private
+// buffer exactly as the serial kernel would, the partials are combined
+// by the fixed-order tree reduction, and the tree sum is added into
+// grad. The chunk grid and tree depend only on x.Rows, so the result
+// is bit-for-bit identical at any worker count and any GOMAXPROCS.
+func ParWeightedGrad(p *parallel.Pool, m Model, params mat.Vec, x *mat.Dense, y []float64, w []float64, grad mat.Vec) mat.Vec {
+	checkParams(m, params)
+	checkData(m, x, y)
+	if len(w) != x.Rows {
+		panic("model: ParWeightedGrad: weights length mismatch")
+	}
+	grad = ensureGrad(grad, m.NumParams())
+	chunks := parallel.Chunks(x.Rows)
+	if chunks <= 1 {
+		// One chunk: accumulate straight into grad, matching the plain
+		// serial call byte for byte.
+		return m.WeightedGrad(params, x, y, w, grad)
+	}
+	parts := make([][]float64, chunks)
+	p.ForEachChunk(x.Rows, func(c, lo, hi int) {
+		part := make(mat.Vec, m.NumParams())
+		m.WeightedGrad(params, x.RowSlice(lo, hi), y[lo:hi], w[lo:hi], part)
+		parts[c] = part
+	})
+	mat.Axpy(1, parallel.TreeReduceVecs(parts), grad)
+	return grad
+}

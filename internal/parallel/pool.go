@@ -1,0 +1,220 @@
+// Package parallel is the shared worker-pool evaluation layer behind
+// drdp's training hot paths: per-sample losses, worst-case weights,
+// weighted gradients and multi-start EM all fan out through a Pool.
+//
+// The design invariant is determinism. Work over n items is split on a
+// fixed chunk grid (ChunkRows items per chunk) that depends only on n —
+// never on the worker count or GOMAXPROCS — and per-chunk partial
+// results are combined by a fixed-order pairwise tree reduction
+// (TreeReduce, TreeReduceVecs). Because each chunk is computed exactly
+// as the serial code would compute it and the combination order is a
+// pure function of the chunk count, results are bit-for-bit identical
+// at any parallelism level, including fully inline execution on a nil
+// Pool. Parallelism changes who computes a chunk, never what is
+// computed or in which order partials meet.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// ChunkRows is the fixed chunk size of the evaluation grid. It is a
+// constant on purpose: making it adaptive to the worker count would
+// change summation groupings — and therefore low-order float bits —
+// with the parallelism setting. 256 rows keeps per-chunk work large
+// enough (tens of microseconds for typical feature counts) to amortize
+// dispatch overhead while still exposing parallelism at edge-scale n.
+const ChunkRows = 256
+
+// Pool executes chunked batch work on up to Workers goroutines. The
+// zero of *Pool (nil) is valid and runs everything inline on the
+// calling goroutine — the serial reference path that parallel runs are
+// bit-identical to. A Pool holds no goroutines between calls (workers
+// are spawned per batch and exit with it), so it needs no Close and is
+// safe to share between any number of concurrent callers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of n workers; n <= 0 picks runtime.GOMAXPROCS(0).
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the configured worker count; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Chunks returns the number of grid chunks for n items:
+// ceil(n/ChunkRows). It depends only on n.
+func Chunks(n int) int {
+	return (n + ChunkRows - 1) / ChunkRows
+}
+
+// ChunkBounds returns the [lo, hi) item range of chunk c of n items.
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * ChunkRows
+	hi = lo + ChunkRows
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForEachChunk calls fn(chunk, lo, hi) for every grid chunk of [0, n)
+// and returns when all chunks are done. Chunks run concurrently on up
+// to Workers goroutines; fn must confine its writes to chunk-private
+// state or to disjoint ranges of shared buffers (out[lo:hi] patterns).
+// A nil pool, a single worker, or a single chunk runs inline on the
+// calling goroutine. A panic in any chunk is re-raised on the caller.
+func (p *Pool) ForEachChunk(n int, fn func(chunk, lo, hi int)) {
+	chunks := Chunks(n)
+	if chunks == 0 {
+		return
+	}
+	w := p.Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		telemetry.ParallelInline.Inc()
+		for c := 0; c < chunks; c++ {
+			lo, hi := ChunkBounds(c, n)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	p.scatter(w, chunks, func(c int) {
+		lo, hi := ChunkBounds(c, n)
+		fn(c, lo, hi)
+	})
+}
+
+// ForEach calls fn(i) for every i in [0, n) at grain 1 — the right
+// shape for small counts of expensive independent tasks, such as
+// per-component Gaussian density evaluations or multi-start EM runs.
+// The same write-disjointness and panic contract as ForEachChunk
+// applies.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		telemetry.ParallelInline.Inc()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.scatter(w, n, fn)
+}
+
+// scatter runs tasks 0..tasks-1 on w goroutines pulling indices from a
+// shared atomic counter, records utilization telemetry, and re-raises
+// the first chunk panic on the calling goroutine.
+func (p *Pool) scatter(w, tasks int, fn func(i int)) {
+	telemetry.ParallelBatches.Inc()
+	telemetry.ParallelTasks.Add(float64(tasks))
+	var (
+		next    atomic.Int64
+		panicMu sync.Mutex
+		panicV  any
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			busy := time.Duration(0)
+			defer func() {
+				telemetry.ParallelBusySeconds.Add(busy.Seconds())
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				t0 := time.Now()
+				fn(i)
+				busy += time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	telemetry.ParallelSectionSeconds.Add(time.Since(start).Seconds())
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// SumChunked computes Σ_{i<n} term(i) with per-chunk left-to-right
+// partial sums combined by the fixed-order tree — the deterministic
+// replacement for a serial accumulation loop.
+func (p *Pool) SumChunked(n int, term func(i int) float64) float64 {
+	parts := make([]float64, Chunks(n))
+	p.ForEachChunk(n, func(c, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += term(i)
+		}
+		parts[c] = s
+	})
+	return TreeReduce(parts)
+}
+
+// TreeReduce sums scalar partials by fixed-order pairwise folding:
+// stride-1 neighbors first, then stride 2, 4, … The result depends
+// only on len(parts) and the values, never on execution order.
+func TreeReduce(parts []float64) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	for stride := 1; stride < len(parts); stride *= 2 {
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			parts[i] += parts[i+stride]
+		}
+	}
+	return parts[0]
+}
+
+// TreeReduceVecs sums equal-length vector partials with the same fixed
+// pairwise tree as TreeReduce, accumulating in place into parts[0],
+// which it returns. The non-root partials are clobbered.
+func TreeReduceVecs(parts [][]float64) []float64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	for stride := 1; stride < len(parts); stride *= 2 {
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			a, b := parts[i], parts[i+stride]
+			for j, v := range b {
+				a[j] += v
+			}
+		}
+	}
+	return parts[0]
+}

@@ -167,3 +167,21 @@ func TestLogNormPDFMatchesMVNormal(t *testing.T) {
 		t.Errorf("LogNormPDF = %v, MVNormal = %v", got, want)
 	}
 }
+
+func TestMVNormalRankDeficientSigma(t *testing.T) {
+	// A rank-deficient covariance (vvᵀ) must be repaired by the jitter
+	// escalation inside NewMVNormal and yield a finite, usable density —
+	// previously a tiny positive roundoff pivot could slip through the
+	// factorization and poison LogPDF with garbage.
+	v := mat.Vec{1, 2, 3}
+	sigma := mat.NewDense(3, 3)
+	sigma.OuterAdd(1, v, v)
+	mv, err := NewMVNormal(mat.Vec{0, 0, 0}, sigma)
+	if err != nil {
+		t.Fatalf("rank-deficient sigma rejected despite jitter: %v", err)
+	}
+	lp := mv.LogPDF(mat.Vec{0.5, -0.5, 1})
+	if math.IsNaN(lp) || math.IsInf(lp, 0) {
+		t.Fatalf("LogPDF on jitter-repaired sigma = %g, want finite", lp)
+	}
+}

@@ -67,6 +67,15 @@ var (
 	CoreObjectiveDelta = Default.Gauge("drdp_core_em_objective_delta")
 	CoreGradNorm       = Default.Gauge("drdp_core_em_grad_norm")
 
+	// --- parallel evaluation layer -----------------------------------
+	ParallelWorkers        = Default.Gauge("drdp_parallel_workers")
+	ParallelBatches        = Default.Counter("drdp_parallel_batches_total")
+	ParallelInline         = Default.Counter("drdp_parallel_inline_total")
+	ParallelTasks          = Default.Counter("drdp_parallel_tasks_total")
+	ParallelBusySeconds    = Default.Counter("drdp_parallel_busy_seconds_total")
+	ParallelSectionSeconds = Default.Counter("drdp_parallel_section_seconds_total")
+	CoreParallelStarts     = Default.Counter("drdp_core_parallel_starts_total")
+
 	// --- durable task store -------------------------------------------
 	StoreAppends        = Default.Counter("drdp_store_appends_total")
 	StoreLogBytes       = Default.Counter("drdp_store_log_bytes_total")
@@ -207,6 +216,13 @@ func init() {
 		"drdp_core_em_objective_delta":             "Objective change in the last EM iteration of the last fit.",
 		"drdp_core_em_grad_norm":                   "Gradient norm reported by the last M-step solve.",
 		"drdp_core_em_objective_iter":              "Objective per EM iteration of the last fit's winning start (NaN = beyond trace).",
+		"drdp_parallel_workers":                    "Worker count of the most recently configured training pool.",
+		"drdp_parallel_batches_total":              "Chunked batch evaluations dispatched to pool workers.",
+		"drdp_parallel_inline_total":               "Chunked batch evaluations executed inline (nil pool, one worker, or one chunk).",
+		"drdp_parallel_tasks_total":                "Chunk tasks executed by pool workers.",
+		"drdp_parallel_busy_seconds_total":         "Cumulative worker time spent executing chunk tasks.",
+		"drdp_parallel_section_seconds_total":      "Cumulative wall time of parallel sections (utilization = busy / (workers × section)).",
+		"drdp_core_parallel_starts_total":          "Multi-start EM runs executed concurrently.",
 		"drdp_sim_devices_total":                   "Simulated device rounds completed.",
 		"drdp_sim_degraded_total":                  "Simulated rounds that trained without a fresh prior.",
 		"drdp_sim_reports_lost_total":              "Simulated posterior reports lost to the link.",
