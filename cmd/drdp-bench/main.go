@@ -58,6 +58,7 @@ var jobs = []job{
 	{id: "table11", table: experiment.Table11AlphaSelection},
 	{id: "table12", table: experiment.Table12LossyLinks},
 	{id: "table13", table: experiment.Table13Parallel},
+	{id: "table14", table: experiment.Table14PoisonedEdges},
 }
 
 func main() {
@@ -69,7 +70,7 @@ func main() {
 
 func run() error {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (table1..table6, fig1..fig8); empty = all")
+		only     = flag.String("only", "", "comma-separated experiment ids (table1..table14, fig1..fig12); empty = all")
 		csvDir   = flag.String("csv", "", "directory for CSV output (created if missing)")
 		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
 		reps     = flag.Int("reps", 3, "repetitions (seeds) per configuration")

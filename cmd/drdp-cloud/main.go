@@ -60,8 +60,14 @@ func run() error {
 		dataDir   = flag.String("data-dir", "", "durable task store directory (empty = in-memory, lost on exit)")
 		snapEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "compact the task log into a snapshot after this many appends (negative = never)")
 		noSync    = flag.Bool("no-sync", false, "skip fsync after appends (faster, loses acknowledged tasks on power failure)")
-		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
+		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /healthz, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "only log warnings and errors")
+
+		maxConns       = flag.Int("max-conns", 0, "max concurrently served connections; over the cap clients get a retryable overloaded answer (0 = unlimited)")
+		handlerTimeout = flag.Duration("handler-timeout", 0, "per-request dispatch deadline; exceeded requests answer overloaded (0 = none)")
+		quarantine     = flag.Bool("quarantine", false, "statistically quarantine outlier task posteriors out of prior rebuilds")
+		trimFrac       = flag.Float64("trim-frac", 0, "max fraction of stored tasks one quarantine round may trim (0 = default)")
+		rebuildTimeout = flag.Duration("rebuild-timeout", edge.DefaultRebuildTimeout, "rebuild watchdog stall threshold (flags via telemetry and /healthz)")
 	)
 	flag.Parse()
 
@@ -97,6 +103,9 @@ func run() error {
 		SnapshotEvery: *snapEvery,
 		NoSync:        *noSync,
 		Logger:        logger,
+		// Recovery re-validates every task: a corrupted-but-CRC-valid
+		// record cannot resurrect a poisoned prior after a restart.
+		Validate: dpprior.TaskValidator(),
 	})
 	if err != nil {
 		return err
@@ -106,7 +115,8 @@ func run() error {
 		logger.Info("task store opened", "dir", *dataDir,
 			"tasks", st.Len(), "version", st.Version(),
 			"snapshot_tasks", ri.SnapshotTasks, "log_records", ri.LogRecords,
-			"skipped_records", ri.SkippedRecords, "truncated_bytes", ri.TruncatedBytes)
+			"skipped_records", ri.SkippedRecords, "truncated_bytes", ri.TruncatedBytes,
+			"invalid_records", ri.InvalidRecords)
 		if st.Version() > 0 && *seedTasks > 0 {
 			logger.Info("store already populated; seed tasks not applied")
 		}
@@ -120,6 +130,13 @@ func run() error {
 	if err != nil {
 		st.Close()
 		return err
+	}
+	srv.MaxConns = *maxConns
+	srv.HandlerTimeout = *handlerTimeout
+	srv.SetRebuildTimeout(*rebuildTimeout)
+	if *quarantine {
+		srv.SetAdmission(edge.AdmissionConfig{Quarantine: true, TrimFrac: *trimFrac})
+		logger.Info("admission quarantine enabled", "trim_frac", *trimFrac)
 	}
 
 	// A signal shuts down in order: stop accepting, drain handlers, stop

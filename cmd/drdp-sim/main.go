@@ -44,6 +44,11 @@ func run() error {
 		rho          = flag.Float64("rho", 0.05, "Wasserstein radius")
 		seed         = flag.Int64("seed", 1, "random seed")
 		metrics      = flag.Bool("metrics", false, "print a telemetry summary (fits, EM iterations, fit-time quantiles) after the run")
+
+		poisonFrac = flag.Float64("poison-frac", 0, "fraction of pioneers uploading poisoned posteriors")
+		poisonKind = flag.String("poison-kind", "adversarial", "poison payload: nan|adversarial")
+		admission  = flag.Bool("admission", false, "cloud validates uploads and quarantines statistical outliers")
+		trimFrac   = flag.Float64("trim-frac", 0, "max fraction of stored tasks one quarantine round may trim (0 = default)")
 	)
 	flag.Parse()
 
@@ -64,6 +69,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var poison sim.PoisonKind
+	switch *poisonKind {
+	case "nan":
+		poison = sim.PoisonNaN
+	case "adversarial":
+		poison = sim.PoisonAdversarial
+	default:
+		return fmt.Errorf("unknown poison kind %q (want nan|adversarial)", *poisonKind)
+	}
+
 	cfg := sim.Config{
 		Family:       family,
 		Model:        model.Logistic{Dim: *dim},
@@ -71,14 +86,21 @@ func run() error {
 		Alpha:        1,
 		RebuildEvery: *rebuildEvery,
 		Flip:         0.05,
+		Admission:    *admission,
+		TrimFrac:     *trimFrac,
 		Seed:         *seed,
 	}
+	poisonCount := int(*poisonFrac*float64(*pioneers) + 0.5)
 	var specs []sim.DeviceSpec
 	for i := 0; i < *pioneers; i++ {
-		specs = append(specs, sim.DeviceSpec{
+		spec := sim.DeviceSpec{
 			ID: i, ArriveAt: time.Duration(i) * 10 * time.Second,
 			Link: link, Samples: *pioneerN, Report: true, Cluster: i % *clusters,
-		})
+		}
+		if ((i+1)*poisonCount) / *pioneers > (i*poisonCount) / *pioneers {
+			spec.Poison = poison
+		}
+		specs = append(specs, spec)
 	}
 	for i := 0; i < *late; i++ {
 		specs = append(specs, sim.DeviceSpec{
@@ -107,6 +129,10 @@ func run() error {
 	fmt.Printf("\ncloud: %d rebuilds, final prior version %d; traffic %0.1f KB down / %0.1f KB up\n",
 		res.Rebuilds, res.FinalVersion,
 		float64(res.BytesDown)/1024, float64(res.BytesUp)/1024)
+	if *admission || res.RejectedUploads > 0 || res.QuarantinedUploads > 0 {
+		fmt.Printf("admission: %d uploads rejected, %d tasks quarantined\n",
+			res.RejectedUploads, res.QuarantinedUploads)
+	}
 
 	if *metrics {
 		snap := telemetry.Snapshot()

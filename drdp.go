@@ -296,6 +296,9 @@ type (
 	// FaultConfig schedules deterministic faults on a connection
 	// (chaos testing of edge deployments).
 	FaultConfig = edge.FaultConfig
+	// AdmissionConfig tunes the cloud's statistical quarantine of
+	// reported task posteriors.
+	AdmissionConfig = edge.AdmissionConfig
 )
 
 // Degradation levels.
@@ -349,6 +352,14 @@ var (
 	ErrCircuitOpen = edge.ErrCircuitOpen
 	// ErrNoPrior reports a legitimately cold cloud (no tasks yet).
 	ErrNoPrior = edge.ErrNoPrior
+	// ErrOverloaded reports a cloud that shed a request under load; it is
+	// retryable, and a ResilientClient retries it automatically.
+	ErrOverloaded = edge.ErrOverloaded
+	// NewTaskValidator returns a stateful task-posterior validator for
+	// StoreOptions.Validate: store recovery re-checks every record
+	// (finiteness, PSD covariance, dimension agreement) so a
+	// corrupted-but-CRC-valid record cannot resurrect a poisoned prior.
+	NewTaskValidator = dpprior.TaskValidator
 )
 
 // Standard uplink profiles.

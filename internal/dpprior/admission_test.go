@@ -1,0 +1,376 @@
+package dpprior
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// admTask builds a well-formed task posterior near center.
+func admTask(rng *rand.Rand, dim int, center float64) TaskPosterior {
+	mu := make(mat.Vec, dim)
+	for j := range mu {
+		mu[j] = center + 0.3*rng.NormFloat64()
+	}
+	sigma := mat.Eye(dim)
+	sigma.ScaleBy(0.1)
+	return TaskPosterior{Mu: mu, Sigma: sigma, N: 100}
+}
+
+func TestValidateAcceptsWellFormedTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	task := admTask(rng, 4, 0)
+	if err := task.Validate(0); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	if err := task.Validate(4); err != nil {
+		t.Errorf("valid task rejected at pinned dim: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := func() TaskPosterior { return admTask(rng, 3, 0) }
+
+	cases := []struct {
+		name string
+		mut  func() (TaskPosterior, int)
+	}{
+		{"empty mean", func() (TaskPosterior, int) {
+			return TaskPosterior{}, 0
+		}},
+		{"dim mismatch", func() (TaskPosterior, int) {
+			return base(), 5
+		}},
+		{"NaN mean", func() (TaskPosterior, int) {
+			task := base()
+			task.Mu[1] = math.NaN()
+			return task, 0
+		}},
+		{"Inf mean", func() (TaskPosterior, int) {
+			task := base()
+			task.Mu[0] = math.Inf(1)
+			return task, 0
+		}},
+		{"nil covariance", func() (TaskPosterior, int) {
+			task := base()
+			task.Sigma = nil
+			return task, 0
+		}},
+		{"mis-shaped covariance", func() (TaskPosterior, int) {
+			task := base()
+			task.Sigma = mat.Eye(2)
+			return task, 0
+		}},
+		{"non-finite covariance", func() (TaskPosterior, int) {
+			task := base()
+			task.Sigma.Set(0, 0, math.NaN())
+			return task, 0
+		}},
+		{"asymmetric covariance", func() (TaskPosterior, int) {
+			task := base()
+			task.Sigma.Set(0, 1, 7)
+			return task, 0
+		}},
+		{"indefinite covariance", func() (TaskPosterior, int) {
+			task := base()
+			task.Sigma.Set(1, 1, -2)
+			return task, 0
+		}},
+		{"negative N", func() (TaskPosterior, int) {
+			task := base()
+			task.N = -1
+			return task, 0
+		}},
+		{"absurd N", func() (TaskPosterior, int) {
+			task := base()
+			task.N = MaxTaskN + 1
+			return task, 0
+		}},
+	}
+	for _, tc := range cases {
+		task, dim := tc.mut()
+		if err := task.Validate(dim); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestTaskValidatorPinsDim: the stateful recovery validator locks onto
+// the first task's dimensionality.
+func TestTaskValidatorPinsDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	validate := TaskValidator()
+	if err := validate(admTask(rng, 4, 0)); err != nil {
+		t.Fatalf("first task rejected: %v", err)
+	}
+	if err := validate(admTask(rng, 4, 1)); err != nil {
+		t.Errorf("same-dim task rejected: %v", err)
+	}
+	if err := validate(admTask(rng, 6, 0)); err == nil {
+		t.Error("dim change accepted after pinning")
+	}
+	// An invalid first task must not pin anything.
+	validate = TaskValidator()
+	bad := admTask(rng, 2, 0)
+	bad.Mu[0] = math.NaN()
+	if err := validate(bad); err == nil {
+		t.Fatal("NaN first task accepted")
+	}
+	if err := validate(admTask(rng, 4, 0)); err != nil {
+		t.Errorf("valid task rejected after invalid first task: %v", err)
+	}
+}
+
+func TestFallbackScoresSeparateOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tasks := make([]TaskPosterior, 0, 9)
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, admTask(rng, 4, 0))
+	}
+	outlier := admTask(rng, 4, 50)
+	tasks = append(tasks, outlier)
+	scores := FallbackScores(tasks)
+	for i := 0; i < 8; i++ {
+		if scores[8] >= scores[i] {
+			t.Fatalf("outlier score %g not below honest score %g", scores[8], scores[i])
+		}
+	}
+}
+
+// TestJudgeColdStart: with no served prior, the model-free fallback
+// still quarantines the adversarial upload and keeps the honest ones.
+func TestJudgeColdStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var undecided []TaskPosterior
+	for i := 0; i < 9; i++ {
+		undecided = append(undecided, admTask(rng, 4, 0))
+	}
+	undecided = append(undecided, admTask(rng, 4, 80))
+	q, _, ok := Judge(nil, nil, undecided, AdmissionOptions{})
+	if !ok {
+		t.Fatal("population of 10 not judged")
+	}
+	for i := 0; i < 9; i++ {
+		if q[i] {
+			t.Errorf("honest task %d quarantined", i)
+		}
+	}
+	if !q[9] {
+		t.Error("adversarial task admitted")
+	}
+}
+
+// TestJudgeWarmPath: with a served prior and an accepted reference set,
+// scores come from prior log density and still isolate the outlier.
+func TestJudgeWarmPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var accepted []TaskPosterior
+	for i := 0; i < 8; i++ {
+		accepted = append(accepted, admTask(rng, 4, 0))
+	}
+	prior, err := Build(accepted, BuildOptions{Alpha: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := Compile(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undecided := []TaskPosterior{admTask(rng, 4, 0.2), admTask(rng, 4, -60)}
+	q, _, ok := Judge(served, accepted, undecided, AdmissionOptions{})
+	if !ok {
+		t.Fatal("not judged")
+	}
+	if q[0] {
+		t.Error("honest undecided task quarantined")
+	}
+	if !q[1] {
+		t.Error("adversarial undecided task admitted")
+	}
+}
+
+// TestJudgeSmallPopulationStaysProvisional: below MinScored nothing is
+// judged — robust statistics over two points are noise.
+func TestJudgeSmallPopulationStaysProvisional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	undecided := []TaskPosterior{admTask(rng, 4, 0), admTask(rng, 4, 90)}
+	if _, _, ok := Judge(nil, nil, undecided, AdmissionOptions{MinScored: 4}); ok {
+		t.Error("population of 2 judged despite MinScored 4")
+	}
+}
+
+// TestJudgeTrimFracCapsQuarantine: the budget bounds how much one round
+// may trim, worst outliers first.
+func TestJudgeTrimFracCapsQuarantine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var undecided []TaskPosterior
+	for i := 0; i < 8; i++ {
+		undecided = append(undecided, admTask(rng, 4, 0))
+	}
+	// Three outliers at increasing distance; TrimFrac only allows one
+	// quarantine over a population of 11, and it must be the worst.
+	undecided = append(undecided, admTask(rng, 4, 40))
+	undecided = append(undecided, admTask(rng, 4, 60))
+	undecided = append(undecided, admTask(rng, 4, 500))
+	q, _, ok := Judge(nil, nil, undecided, AdmissionOptions{TrimFrac: 0.1})
+	if !ok {
+		t.Fatal("not judged")
+	}
+	var n int
+	for _, v := range q {
+		if v {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("trim budget 0.1 over 11 tasks quarantined %d", n)
+	}
+	if !q[10] {
+		t.Error("the worst outlier was not the one quarantined")
+	}
+}
+
+// TestJudgeNaNScoreIsAlwaysCandidate: a task whose score is NaN (e.g. a
+// degenerate mean) is treated as catastrophically low.
+func TestJudgeNaNScoreIsAlwaysCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var accepted []TaskPosterior
+	for i := 0; i < 8; i++ {
+		accepted = append(accepted, admTask(rng, 4, 0))
+	}
+	prior, err := Build(accepted, BuildOptions{Alpha: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := Compile(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weird := admTask(rng, 4, 0)
+	weird.Mu[0] = math.Inf(1) // LogDensity goes non-finite
+	q, _, ok := Judge(served, accepted, []TaskPosterior{weird}, AdmissionOptions{})
+	if !ok {
+		t.Fatal("not judged")
+	}
+	if !q[0] {
+		t.Error("non-finite-scoring task admitted")
+	}
+}
+
+// TestJudgeScaleScreenCatchesPlausibleMeanHijack: an attacker who copies
+// a perfectly plausible mean but claims a huge sample count and a tiny
+// covariance — to dominate the sample-weighted component mean — scores
+// fine on mean plausibility and is caught only by the scale screen.
+func TestJudgeScaleScreenCatchesPlausibleMeanHijack(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var honest []TaskPosterior
+	for i := 0; i < 9; i++ {
+		honest = append(honest, admTask(rng, 4, 0))
+	}
+	hijack := admTask(rng, 4, 0) // mean indistinguishable from honest
+	hijack.Sigma = mat.Eye(4)
+	hijack.Sigma.ScaleBy(1e-4)
+	hijack.N = 100000
+
+	// Cold start (no served prior): FallbackScores alone would admit it.
+	undecided := append(append([]TaskPosterior(nil), honest...), hijack)
+	q, _, ok := Judge(nil, nil, undecided, AdmissionOptions{})
+	if !ok {
+		t.Fatal("not judged")
+	}
+	for i := range honest {
+		if q[i] {
+			t.Errorf("honest task %d quarantined by scale screen", i)
+		}
+	}
+	if !q[len(honest)] {
+		t.Error("plausible-mean hijack admitted cold")
+	}
+
+	// Warm path: density scoring gives the hijack a fine score too.
+	prior, err := Build(honest, BuildOptions{Alpha: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := Compile(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, ok = Judge(served, honest, []TaskPosterior{hijack}, AdmissionOptions{})
+	if !ok {
+		t.Fatal("not judged warm")
+	}
+	if !q[0] {
+		t.Error("plausible-mean hijack admitted warm")
+	}
+}
+
+// TestJudgeDefersOverBudgetCandidates: in a population so small the
+// trim budget rounds to zero, a flagged candidate must come back
+// deferred — not silently accepted (verdicts are sticky, so a wrong
+// accept here would let the attacker into every future rebuild). With
+// a budget the same candidate is quarantined outright.
+func TestJudgeDefersOverBudgetCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var undecided []TaskPosterior
+	for i := 0; i < 3; i++ {
+		undecided = append(undecided, admTask(rng, 4, 0))
+	}
+	hijack := admTask(rng, 4, 0)
+	hijack.Sigma = mat.Eye(4)
+	hijack.Sigma.ScaleBy(1e-4)
+	hijack.N = 100000
+	undecided = append(undecided, hijack)
+
+	// Default TrimFrac 0.2 over a population of 4: budget int(0.8) = 0.
+	q, def, ok := Judge(nil, nil, undecided, AdmissionOptions{})
+	if !ok {
+		t.Fatal("population of 4 not judged")
+	}
+	for i := 0; i < 3; i++ {
+		if q[i] || def[i] {
+			t.Errorf("honest task %d quarantined=%v deferred=%v", i, q[i], def[i])
+		}
+	}
+	if q[3] {
+		t.Error("hijack quarantined despite a zero budget")
+	}
+	if !def[3] {
+		t.Error("over-budget hijack not deferred — a sticky accept verdict")
+	}
+
+	// Same round with budget for one: quarantined, no longer deferred.
+	q, def, ok = Judge(nil, nil, undecided, AdmissionOptions{TrimFrac: 0.3})
+	if !ok {
+		t.Fatal("not judged with budget")
+	}
+	if !q[3] || def[3] {
+		t.Errorf("with budget 1: quarantined=%v deferred=%v, want true/false", q[3], def[3])
+	}
+}
+
+// TestJudgeScaleScreenToleratesHonestHeterogeneity: a data-poor device
+// (16x fewer samples, correspondingly wider posterior) in a data-rich
+// fleet stays inside the scale screen's absolute floor.
+func TestJudgeScaleScreenToleratesHonestHeterogeneity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var honest []TaskPosterior
+	for i := 0; i < 9; i++ {
+		honest = append(honest, admTask(rng, 4, 0))
+	}
+	small := admTask(rng, 4, 0)
+	small.N = 6 // ~16x below the fleet's 100
+	small.Sigma = mat.Eye(4)
+	small.Sigma.ScaleBy(1.6) // ~16x above the fleet's 0.1
+	undecided := append(append([]TaskPosterior(nil), honest...), small)
+	q, _, ok := Judge(nil, nil, undecided, AdmissionOptions{})
+	if !ok {
+		t.Fatal("not judged")
+	}
+	if q[len(honest)] {
+		t.Error("honest data-poor device quarantined")
+	}
+}

@@ -185,13 +185,17 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 
 	default:
 		var se *ServerError
-		if errors.As(err, &se) {
+		if errors.As(err, &se) && se.Code != CodeOverloaded {
 			// Application rejection (dim mismatch etc.): degrading can't
-			// fix a request the server refuses — surface it.
+			// fix a request the server refuses — surface it. Overload is
+			// the exception: the retry budget is spent but the cloud is
+			// merely busy, so the degradation ladder below applies exactly
+			// as it does for a transport fault.
 			return nil, st, err
 		}
 		telemetry.DeviceFetchErrors.Inc()
-		// Transport fault: fall back to the cached prior, then local-only.
+		// Transport fault (or exhausted overload retries): fall back to
+		// the cached prior, then local-only.
 		if cached, cv, ok := d.Cache.Get(); ok {
 			telemetry.CacheStale.Inc()
 			st.Degradation = DegradedCached

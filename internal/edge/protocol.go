@@ -122,6 +122,12 @@ const (
 	CodeBadRequest
 	// CodeInternal covers unexpected server-side failures.
 	CodeInternal
+	// CodeOverloaded means the server shed the request to protect itself
+	// (connection limit reached or handler deadline exceeded). Unlike the
+	// other rejections it is retryable: the same request is expected to
+	// succeed once load drains, so ResilientClient backs off and retries
+	// instead of failing.
+	CodeOverloaded
 )
 
 // Response is the server→client message. Err is non-empty on failure
@@ -148,6 +154,9 @@ type Stats struct {
 	PriorVersion uint64 // bumped on every rebuild
 	Components   int    // components in the current prior
 	WireBytes    int    // approximate serialized prior size
+	Accepted     int    // tasks admitted into the served prior
+	Quarantined  int    // tasks held out of the prior by the admission judge
+	Rejected     int    // uploads refused by semantic validation
 }
 
 // ErrNoPrior reports that the cloud legitimately has no prior yet (no
@@ -155,6 +164,11 @@ type Stats struct {
 // fault: devices train locally and retry on a later round. Test with
 // errors.Is.
 var ErrNoPrior = errors.New("edge: cloud has no prior yet")
+
+// ErrOverloaded reports that the server shed the request under load.
+// ResilientClient already retries these through backoff; callers that see
+// it surfaced have exhausted the retry budget. Test with errors.Is.
+var ErrOverloaded = errors.New("edge: cloud overloaded")
 
 // ServerError is an application-level rejection that crossed the wire
 // intact: the transport worked, the server said no. ResilientClient does
@@ -166,9 +180,17 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("edge: server: %s", e.Msg) }
 
-// Is lets errors.Is(err, ErrNoPrior) recognize a cold-start rejection.
+// Is lets errors.Is recognize the sentinel conditions: ErrNoPrior for a
+// cold-start rejection, ErrOverloaded for load shedding.
 func (e *ServerError) Is(target error) bool {
-	return target == ErrNoPrior && e.Code == CodeNoTasks
+	switch target {
+	case ErrNoPrior:
+		return e.Code == CodeNoTasks
+	case ErrOverloaded:
+		return e.Code == CodeOverloaded
+	default:
+		return false
+	}
 }
 
 // errOf converts a Response error string back into an error.

@@ -203,10 +203,25 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		}
 		var se *ServerError
 		if errors.As(err, &se) {
-			// The transport round-tripped fine; the server rejected the
-			// request. Not retriable, and not a breaker failure.
 			telemetry.EdgeClientRoundtrip.Observe(time.Since(rtStart).Seconds())
+			// The transport round-tripped fine, so this is never a breaker
+			// failure — the server is alive and answering.
 			r.br.onSuccess()
+			if se.Code == CodeOverloaded {
+				// Load shedding is the one retryable rejection: the server
+				// asked us to come back later. It also closed the connection
+				// after answering, so drop the session and redial after
+				// backoff.
+				telemetry.EdgeClientOverloaded.Inc()
+				r.c.Close()
+				r.c = nil
+				lastErr = err
+				r.logger.Warn("edge: server overloaded; backing off",
+					"kind", req.Kind.String(), "attempt", attempt+1, "attempts", attempts)
+				continue
+			}
+			// Any other rejection is final: resending the identical request
+			// cannot succeed.
 			return nil, err
 		}
 		// Transport fault: the gob stream is now in an unknown state, so

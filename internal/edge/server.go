@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
@@ -26,6 +27,13 @@ const (
 	// deltaHistory is how many built priors the server retains for delta
 	// synchronization; clients further behind fall back to a full fetch.
 	deltaHistory = 8
+	// DefaultRebuildTimeout is how long one background prior rebuild may
+	// run before the watchdog flags the worker as stalled.
+	DefaultRebuildTimeout = 2 * time.Minute
+	// shedDeadline bounds a shed connection: long enough to read one
+	// request and write the CodeOverloaded answer, short enough that a
+	// flood cannot pin goroutines.
+	shedDeadline = 2 * time.Second
 )
 
 // CloudServer accumulates task posteriors in a durable store and serves
@@ -54,6 +62,16 @@ type CloudServer struct {
 	// IdleTimeout bounds the gap between requests on a connection
 	// (default DefaultIdleTimeout; set before Serve, negative = none).
 	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections (set before Serve;
+	// 0 = unlimited). A connection over the cap is answered with one
+	// CodeOverloaded response and closed — clients back off and retry
+	// instead of queueing behind a saturated server.
+	MaxConns int
+	// HandlerTimeout bounds one request dispatch (set before Serve;
+	// 0 = none). A dispatch that exceeds it is abandoned to finish in the
+	// background (an accepted task is never dropped) and the client gets
+	// CodeOverloaded.
+	HandlerTimeout time.Duration
 
 	// mu serializes task validation + append (the store itself is safe,
 	// but dimension checks must be atomic with the append they guard).
@@ -69,6 +87,24 @@ type CloudServer struct {
 
 	// buildMu serializes cold-start synchronous builds.
 	buildMu sync.Mutex
+
+	// admMu guards the admission configuration (settable on a live server).
+	admMu sync.Mutex
+	adm   AdmissionConfig
+
+	// Admission counters surfaced through Stats. acceptedN/quarantinedN
+	// are the current totals over stored tasks (refreshed by admit);
+	// rejected is cumulative.
+	acceptedN    atomic.Int64
+	quarantinedN atomic.Int64
+	rejected     atomic.Int64
+
+	// Rebuild watchdog state: buildingSince is the UnixNano start of the
+	// in-flight build (0 = idle); stalled latches the watchdog verdict.
+	buildingSince    atomic.Int64
+	rebuildTimeoutNs atomic.Int64
+	stalled          atomic.Bool
+	healthStop       func()
 
 	rebuildCh chan struct{} // capacity 1: pending-rebuild signal
 	stopCh    chan struct{}
@@ -127,6 +163,7 @@ func NewCloudServerWithStore(st *store.Store, seed []dpprior.TaskPosterior, opts
 		stopCh:        make(chan struct{}),
 	}
 	s.builtCond = sync.NewCond(&s.priorMu)
+	s.rebuildTimeoutNs.Store(int64(DefaultRebuildTimeout))
 	if st.Version() == 0 {
 		for i, t := range seed {
 			if _, err := s.appendTask(t); err != nil {
@@ -136,30 +173,69 @@ func NewCloudServerWithStore(st *store.Store, seed []dpprior.TaskPosterior, opts
 	}
 	telemetry.ServerTasks.Set(float64(st.Len()))
 	telemetry.ServerPriorVersion.Set(float64(st.Version()))
-	s.workerWg.Add(1)
+	s.healthStop = telemetry.RegisterHealth("cloud-rebuild", func() error {
+		if s.stalled.Load() {
+			return errors.New("prior rebuild worker stalled")
+		}
+		return nil
+	})
+	s.workerWg.Add(2)
 	go s.rebuildLoop()
+	go s.watchdog()
 	s.kickRebuild()
 	return s, nil
+}
+
+// AdmissionConfig enables statistical quarantine: each undecided stored
+// task is scored under the currently served prior (dpprior.Judge) and
+// outliers are held out of rebuilds. Verdicts persist in the store, so a
+// restart keeps them.
+type AdmissionConfig struct {
+	// Quarantine turns the admission judge on.
+	Quarantine bool
+	// TrimFrac caps the fraction of stored tasks one judgment round may
+	// quarantine (0 = dpprior default).
+	TrimFrac float64
+	// MinScored is the smallest task population worth judging
+	// (0 = dpprior default).
+	MinScored int
+}
+
+// SetAdmission installs the admission configuration (safe on a live
+// server) and kicks a rebuild so it takes effect immediately.
+func (s *CloudServer) SetAdmission(cfg AdmissionConfig) {
+	s.admMu.Lock()
+	s.adm = cfg
+	s.admMu.Unlock()
+	s.kickRebuild()
+}
+
+// SetRebuildTimeout adjusts the watchdog's stall threshold (safe on a
+// live server; non-positive values are ignored).
+func (s *CloudServer) SetRebuildTimeout(d time.Duration) {
+	if d > 0 {
+		s.rebuildTimeoutNs.Store(int64(d))
+	}
 }
 
 // Store exposes the underlying task store (read-mostly: recovery info,
 // forced snapshots).
 func (s *CloudServer) Store() *store.Store { return s.st }
 
-// appendTask validates and appends one task under mu.
+// appendTask validates and appends one task under mu. Validation is the
+// admission gate of the whole system: nothing non-finite, mis-shaped,
+// non-PSD or mis-dimensioned ever reaches the store or a rebuild.
 func (s *CloudServer) appendTask(t dpprior.TaskPosterior) (uint64, error) {
-	if len(t.Mu) == 0 || t.Sigma == nil {
-		return 0, errors.New("edge: AddTask: incomplete task posterior")
-	}
-	if t.Sigma.Rows != len(t.Mu) || t.Sigma.Cols != len(t.Mu) {
-		return 0, fmt.Errorf("edge: AddTask: covariance %dx%d for dim %d",
-			t.Sigma.Rows, t.Sigma.Cols, len(t.Mu))
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if tasks, _ := s.st.View(); len(tasks) > 0 && len(tasks[0].Mu) != len(t.Mu) {
-		return 0, fmt.Errorf("edge: AddTask: dim %d does not match existing tasks (dim %d)",
-			len(t.Mu), len(tasks[0].Mu))
+	dim := 0
+	if tasks, _ := s.st.View(); len(tasks) > 0 {
+		dim = len(tasks[0].Mu)
+	}
+	if err := t.Validate(dim); err != nil {
+		telemetry.ServerAdmitRejected.Inc()
+		s.rejected.Add(1)
+		return 0, fmt.Errorf("edge: AddTask: %w", err)
 	}
 	v, err := s.st.Append(t)
 	if err != nil {
@@ -203,7 +279,7 @@ func (s *CloudServer) rebuildLoop() {
 		case <-s.rebuildCh:
 		}
 		for {
-			tasks, v := s.st.View()
+			tasks, seqs, v := s.st.ViewRecords()
 			s.priorMu.Lock()
 			built := s.built
 			hook := s.buildHook
@@ -211,10 +287,23 @@ func (s *CloudServer) rebuildLoop() {
 			if v == 0 || v == built {
 				break
 			}
+			// Published before the hook so the watchdog times the whole
+			// build, including anything a test seam blocks on.
+			s.buildingSince.Store(time.Now().UnixNano())
 			if hook != nil {
 				hook(v)
 			}
-			p, err := dpprior.Build(tasks, s.opts)
+			admitted := s.admit(tasks, seqs, true)
+			if len(admitted) == 0 {
+				// Everything stored is quarantined: keep serving whatever
+				// prior exists, but mark the version covered so WaitCaughtUp
+				// waiters are released.
+				s.buildingSince.Store(0)
+				s.advanceBuilt(v)
+				continue
+			}
+			p, err := dpprior.Build(admitted, s.opts)
+			s.buildingSince.Store(0)
 			if err != nil {
 				// Leave the previous prior serving; the next AddTask (or
 				// cold-start fetch) retries.
@@ -229,6 +318,139 @@ func (s *CloudServer) rebuildLoop() {
 			}
 		}
 	}
+}
+
+// watchdog detects a wedged rebuild worker: when one build runs past the
+// rebuild timeout, the stall is latched into telemetry (gauge + event)
+// and the /healthz readiness check, and cleared once the worker moves
+// again.
+func (s *CloudServer) watchdog() {
+	defer s.workerWg.Done()
+	for {
+		timeout := time.Duration(s.rebuildTimeoutNs.Load())
+		poll := timeout / 4
+		if poll < 10*time.Millisecond {
+			poll = 10 * time.Millisecond
+		}
+		if poll > time.Second {
+			poll = time.Second
+		}
+		select {
+		case <-s.stopCh:
+			return
+		case <-time.After(poll):
+		}
+		since := s.buildingSince.Load()
+		stalled := since != 0 && time.Since(time.Unix(0, since)) > timeout
+		if stalled {
+			if !s.stalled.Swap(true) {
+				telemetry.ServerRebuildStalled.Set(1)
+				telemetry.Events.RecordKV("edge_server", "rebuild-stalled",
+					"for", time.Since(time.Unix(0, since)).Round(time.Millisecond).String())
+				s.logger.Error("edge: prior rebuild worker stalled",
+					"for", time.Since(time.Unix(0, since)).Round(time.Millisecond))
+			}
+		} else if s.stalled.Swap(false) {
+			telemetry.ServerRebuildStalled.Set(0)
+			s.logger.Info("edge: prior rebuild worker recovered")
+		}
+	}
+}
+
+// admit applies the admission judge to the stored task set and returns
+// the tasks a rebuild may use, in store order — order is what keeps a
+// seeded Build byte-identical to a clean-only baseline when the admitted
+// sets match. Undecided tasks are judged against the currently served
+// prior; new verdicts are persisted (persist=false for the synchronous
+// cold-start path, which must not race the worker's verdict writes).
+// When the population is still too small to judge, undecided tasks are
+// provisionally admitted and re-judged on a later round. A candidate
+// the judge flagged but could not quarantine within the trim budget is
+// the opposite of provisional: it gets no verdict, is held out of this
+// rebuild, and is re-judged when the population (and so the budget)
+// grows.
+func (s *CloudServer) admit(tasks []dpprior.TaskPosterior, seqs []uint64, persist bool) []dpprior.TaskPosterior {
+	s.admMu.Lock()
+	cfg := s.adm
+	s.admMu.Unlock()
+	if !cfg.Quarantine {
+		s.acceptedN.Store(int64(len(tasks)))
+		s.quarantinedN.Store(0)
+		return tasks
+	}
+	verdicts := s.st.Verdicts()
+	var acceptedRef, undecided []dpprior.TaskPosterior
+	var undecidedSeqs []uint64
+	for i, seq := range seqs {
+		q, decided := verdicts[seq]
+		switch {
+		case !decided:
+			undecided = append(undecided, tasks[i])
+			undecidedSeqs = append(undecidedSeqs, seq)
+		case !q:
+			acceptedRef = append(acceptedRef, tasks[i])
+		}
+	}
+	deferredSeq := make(map[uint64]bool)
+	if len(undecided) > 0 {
+		var served *dpprior.Compiled
+		s.priorMu.Lock()
+		p := s.prior
+		s.priorMu.Unlock()
+		if p != nil {
+			if c, err := dpprior.Compile(p); err == nil {
+				served = c
+			}
+		}
+		opts := dpprior.AdmissionOptions{TrimFrac: cfg.TrimFrac, MinScored: cfg.MinScored}
+		if q, def, ok := dpprior.Judge(served, acceptedRef, undecided, opts); ok {
+			newVerdicts := make(map[uint64]bool, len(undecided))
+			for i, quarantined := range q {
+				if def[i] {
+					deferredSeq[undecidedSeqs[i]] = true
+					telemetry.ServerAdmitDeferred.Inc()
+					continue
+				}
+				newVerdicts[undecidedSeqs[i]] = quarantined
+				if quarantined {
+					telemetry.ServerAdmitQuarantined.Inc()
+				} else {
+					telemetry.ServerAdmitAccepted.Inc()
+				}
+			}
+			if persist {
+				if err := s.st.SetVerdicts(newVerdicts); err != nil {
+					// The verdicts still hold for this rebuild; only their
+					// durability is degraded.
+					s.logger.Warn("edge: persisting admission verdicts failed", "err", err)
+				}
+			}
+			for seq, quarantined := range newVerdicts {
+				verdicts[seq] = quarantined
+			}
+		}
+	}
+	admitted := make([]dpprior.TaskPosterior, 0, len(tasks))
+	for i, seq := range seqs {
+		if verdicts[seq] || deferredSeq[seq] {
+			continue
+		}
+		admitted = append(admitted, tasks[i])
+	}
+	s.acceptedN.Store(int64(len(admitted)))
+	s.quarantinedN.Store(int64(len(tasks) - len(admitted)))
+	return admitted
+}
+
+// advanceBuilt marks a store version covered without publishing a new
+// prior (used when admission leaves nothing to build from).
+func (s *CloudServer) advanceBuilt(v uint64) {
+	s.priorMu.Lock()
+	if v > s.built {
+		s.built = v
+		s.builtCond.Broadcast()
+	}
+	s.priorMu.Unlock()
 }
 
 // setBuilt publishes a newly built prior and retains it for delta sync.
@@ -280,11 +502,15 @@ func (s *CloudServer) buildCold() (*dpprior.Prior, uint64, error) {
 		return p, built, nil
 	}
 	s.priorMu.Unlock()
-	tasks, v := s.st.View()
+	tasks, seqs, v := s.st.ViewRecords()
 	if v == 0 {
 		return nil, 0, errNoTasks
 	}
-	p, err := dpprior.Build(tasks, s.opts)
+	admitted := s.admit(tasks, seqs, false)
+	if len(admitted) == 0 {
+		return nil, 0, errNoTasks
+	}
+	p, err := dpprior.Build(admitted, s.opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("edge: rebuild prior: %w", err)
 	}
@@ -324,7 +550,13 @@ func (s *CloudServer) priorAt(version uint64) *dpprior.Prior {
 
 // Stats returns current counters.
 func (s *CloudServer) Stats() Stats {
-	st := Stats{Tasks: s.st.Len(), PriorVersion: s.st.Version()}
+	st := Stats{
+		Tasks:        s.st.Len(),
+		PriorVersion: s.st.Version(),
+		Accepted:     int(s.acceptedN.Load()),
+		Quarantined:  int(s.quarantinedN.Load()),
+		Rejected:     int(s.rejected.Load()),
+	}
 	if p, _, err := s.Prior(); err == nil {
 		st.Components = len(p.Components)
 		st.WireBytes = p.WireSize()
@@ -370,6 +602,10 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 			s.conns = make(map[net.Conn]struct{})
 		}
 		s.conns[conn] = struct{}{}
+		// Over the cap the connection is still registered (Close must be
+		// able to sweep it) but it gets the shedding handler: one
+		// CodeOverloaded answer, then close.
+		over := s.MaxConns > 0 && len(s.conns) > s.MaxConns
 		s.lnMu.Unlock()
 		telemetry.ServerConnsTotal.Inc()
 		telemetry.ServerConnsActive.Add(1)
@@ -382,9 +618,38 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 				delete(s.conns, conn)
 				s.lnMu.Unlock()
 			}()
-			s.handle(conn)
+			if over {
+				s.shed(conn)
+			} else {
+				s.handle(conn)
+			}
 		}()
 	}
+}
+
+// shed answers one request on an over-the-cap connection with
+// CodeOverloaded and closes it. Reading the request before answering
+// (instead of slamming the connection shut at accept) gives the client a
+// classifiable, retryable rejection rather than a bare reset.
+func (s *CloudServer) shed(conn net.Conn) {
+	defer conn.Close()
+	telemetry.ServerShedMaxConns.Inc()
+	s.logger.Warn("edge: connection limit reached; shedding",
+		"remote", conn.RemoteAddr().String(), "max-conns", s.MaxConns)
+	if err := conn.SetDeadline(time.Now().Add(shedDeadline)); err != nil {
+		return
+	}
+	cc := countConn{Conn: conn, sent: telemetry.ServerSent, recv: telemetry.ServerReceived}
+	lim := &limitedConnReader{r: cc, max: s.MaxFrameBytes}
+	lim.reset()
+	var req Request
+	if err := gob.NewDecoder(lim).Decode(&req); err != nil {
+		return
+	}
+	_ = gob.NewEncoder(cc).Encode(&Response{
+		Err:  "server overloaded: connection limit reached",
+		Code: CodeOverloaded,
+	})
 }
 
 // ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves.
@@ -423,6 +688,9 @@ func (s *CloudServer) Close() error {
 	if !alreadyClosed {
 		close(s.stopCh)
 		s.workerWg.Wait()
+		if s.healthStop != nil {
+			s.healthStop()
+		}
 		s.priorMu.Lock()
 		s.builtCond.Broadcast() // release WaitCaughtUp waiters
 		s.priorMu.Unlock()
@@ -495,17 +763,62 @@ func (s *CloudServer) handle(conn net.Conn) {
 			}
 			return
 		}
-		if s.panicHook != nil {
-			s.panicHook(&req)
-		}
 		start := time.Now()
-		resp := s.dispatch(&req)
+		resp := s.serveRequest(&req)
 		telemetry.ServerReqCounter(req.Kind.String()).Inc()
 		telemetry.ServerRequestSeconds.Observe(time.Since(start).Seconds())
 		if err := enc.Encode(resp); err != nil {
 			s.logger.Warn("edge: encode response failed",
 				"remote", conn.RemoteAddr().String(), "err", err)
 			return
+		}
+	}
+}
+
+// serveRequest runs one dispatch under the handler deadline. Without a
+// deadline it dispatches inline (a panic propagates to handle's
+// per-connection recovery, costing the connection). With one, the
+// dispatch runs in its own goroutine: on timeout the client gets
+// CodeOverloaded immediately while the dispatch finishes in the
+// background — an AddTask that was going to commit still commits, so
+// shedding never drops an already-accepted task.
+func (s *CloudServer) serveRequest(req *Request) *Response {
+	if s.HandlerTimeout <= 0 {
+		if s.panicHook != nil {
+			s.panicHook(req)
+		}
+		telemetry.ServerInflight.Add(1)
+		defer telemetry.ServerInflight.Add(-1)
+		return s.dispatch(req)
+	}
+	done := make(chan *Response, 1)
+	go func() {
+		telemetry.ServerInflight.Add(1)
+		defer telemetry.ServerInflight.Add(-1)
+		defer func() {
+			if r := recover(); r != nil {
+				telemetry.ServerPanics.Inc()
+				s.logger.Error("edge: panic in request dispatch", "panic", r)
+				done <- &Response{Err: "internal error", Code: CodeInternal}
+			}
+		}()
+		if s.panicHook != nil {
+			s.panicHook(req)
+		}
+		done <- s.dispatch(req)
+	}()
+	timer := time.NewTimer(s.HandlerTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-done:
+		return resp
+	case <-timer.C:
+		telemetry.ServerShedTimeout.Inc()
+		s.logger.Warn("edge: request exceeded handler deadline; shedding",
+			"kind", req.Kind.String(), "deadline", s.HandlerTimeout)
+		return &Response{
+			Err:  "server overloaded: handler deadline exceeded",
+			Code: CodeOverloaded,
 		}
 	}
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -229,5 +230,38 @@ func TestExperimentTelemetryFootprint(t *testing.T) {
 	ha, _ := before.Histogram("drdp_core_fit_seconds")
 	if d := hb.Delta(ha); float64(d.Count) != fits {
 		t.Errorf("fit-seconds observations %d != fits %g", d.Count, fits)
+	}
+}
+
+// TestTable14Smoke runs the poisoned-edge sweep in fast mode and checks
+// the headline claim: at a non-zero poison fraction, admission control
+// on beats admission control off on clean late-device accuracy.
+func TestTable14Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table14PoisonedEdges(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // fast mode: 2 fractions × admission on/off
+		t.Fatalf("table14 rows %d, want 4", len(tab.Rows))
+	}
+	acc := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.SplitN(row[2], "±", 2)[0], 64)
+		if err != nil {
+			t.Fatalf("unparseable accuracy cell %q: %v", row[2], err)
+		}
+		return v
+	}
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		off, on := tab.Rows[i], tab.Rows[i+1]
+		if off[0] != on[0] || off[1] != "off" || on[1] != "on" {
+			t.Fatalf("unexpected row layout: %v / %v", off, on)
+		}
+		if off[0] != "0%" && acc(on) <= acc(off) {
+			t.Errorf("poisoned %s: admission on %.3f not above off %.3f",
+				on[0], acc(on), acc(off))
+		}
 	}
 }

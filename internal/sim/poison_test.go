@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/drdp/drdp/internal/edge"
+)
+
+// poisonedFleet is fleet() with the poison kind planted on a subset of
+// the pioneers, evenly spread through the arrival order.
+func poisonedFleet(pioneers, late, poisoners int, kind PoisonKind) []DeviceSpec {
+	specs := fleet(pioneers, late, edge.LinkWiFi)
+	for i := 0; i < pioneers; i++ {
+		if ((i+1)*poisoners)/pioneers > (i*poisoners)/pioneers {
+			specs[i].Poison = kind
+		}
+	}
+	return specs
+}
+
+// TestSimNaNPoisonRejectedAtUpload: the "merely broken" device — its NaN
+// posterior is refused by validation at upload time, never enters the
+// pool, and the run completes normally for everyone else.
+func TestSimNaNPoisonRejectedAtUpload(t *testing.T) {
+	cfg := simConfig(t, 220)
+	cfg.Admission = true
+	cfg.RebuildEvery = 1
+	specs := poisonedFleet(4, 4, 1, PoisonNaN)
+	res, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedUploads != 1 {
+		t.Errorf("RejectedUploads = %d, want 1", res.RejectedUploads)
+	}
+	var flagged int
+	for i, d := range res.Devices {
+		if d.Rejected {
+			flagged++
+			if specs[i].Poison != PoisonNaN {
+				t.Errorf("honest device %d marked rejected", d.ID)
+			}
+		}
+	}
+	if flagged != 1 {
+		t.Errorf("%d devices marked rejected, want 1", flagged)
+	}
+	// Everyone still trains; the fleet is not poisoned.
+	for _, d := range res.Devices {
+		if d.Accuracy <= 0.5 {
+			t.Errorf("device %d accuracy %.3f under NaN poisoning", d.ID, d.Accuracy)
+		}
+	}
+}
+
+// TestSimAdversarialPoisonQuarantined is the fleet-level chaos test:
+// with 30% of pioneers uploading adversarial posteriors and admission
+// on, the quarantine must catch exactly the poisoners (precision and
+// recall 1.0), and the late clean devices must do strictly better than
+// the same fleet with admission off. (Exact byte-stability against a
+// poison-free baseline is asserted at the server layer, where uploads
+// are fixed; here training feeds back — a pioneer that fetched a
+// transiently tainted prior uploads a slightly different honest task.)
+func TestSimAdversarialPoisonQuarantined(t *testing.T) {
+	const pioneers, late, poisoners = 10, 6, 3
+	cfg := simConfig(t, 221)
+	cfg.Admission = true
+	cfg.TrimFrac = 0.6
+	cfg.RebuildEvery = 1
+
+	specs := poisonedFleet(pioneers, late, poisoners, PoisonAdversarial)
+	res, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quarantine precision/recall against ground truth.
+	for i, d := range res.Devices {
+		isPoisoner := specs[i].Poison == PoisonAdversarial
+		flagged := d.Rejected || d.Quarantined
+		if isPoisoner && !flagged {
+			t.Errorf("poisoner %d not caught", d.ID)
+		}
+		if !isPoisoner && flagged {
+			t.Errorf("honest device %d flagged", d.ID)
+		}
+	}
+	if res.QuarantinedUploads != poisoners {
+		t.Errorf("QuarantinedUploads = %d, want %d", res.QuarantinedUploads, poisoners)
+	}
+
+	// The same poisoned fleet with admission off: the hostile components
+	// reach every late device's prior, and their accuracy must suffer
+	// relative to the defended run.
+	offCfg := simConfig(t, 221)
+	offCfg.RebuildEvery = 1
+	off, err := Run(offCfg, poisonedFleet(pioneers, late, poisoners, PoisonAdversarial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accOn, accOff float64
+	for i := pioneers; i < pioneers+late; i++ {
+		accOn += res.Devices[i].Accuracy / late
+		accOff += off.Devices[i].Accuracy / late
+	}
+	if accOn <= accOff {
+		t.Errorf("admission on late-device accuracy %.3f not above admission off %.3f",
+			accOn, accOff)
+	}
+}
+
+// TestSimAdmissionOffAdmitsEverything: with admission off nothing is
+// rejected or quarantined — the knob actually gates the machinery.
+func TestSimAdmissionOffAdmitsEverything(t *testing.T) {
+	cfg := simConfig(t, 222)
+	cfg.RebuildEvery = 1
+	res, err := Run(cfg, poisonedFleet(6, 2, 2, PoisonAdversarial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedUploads != 0 || res.QuarantinedUploads != 0 {
+		t.Errorf("admission off rejected %d / quarantined %d",
+			res.RejectedUploads, res.QuarantinedUploads)
+	}
+}

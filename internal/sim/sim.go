@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -51,7 +52,29 @@ type DeviceSpec struct {
 	RefreshEvery time.Duration
 	// Refreshes is how many refresh rounds the device runs (0 = none).
 	Refreshes int
+	// Poison corrupts this device's uploaded posterior (training itself
+	// stays honest, so the device's own accuracy is unaffected): the
+	// poisoned-edge threat model where a compromised edge attacks the
+	// fleet's shared prior.
+	Poison PoisonKind
 }
+
+// PoisonKind enumerates the ways a hostile device corrupts its upload.
+type PoisonKind int
+
+// Poison kinds.
+const (
+	// PoisonNone uploads the honest posterior.
+	PoisonNone PoisonKind = iota
+	// PoisonNaN plants a NaN in the posterior mean — the "merely broken"
+	// edge. Semantic validation catches it outright.
+	PoisonNaN
+	// PoisonAdversarial uploads a finite, well-formed but hostile
+	// posterior: a far-off mean with a tiny covariance and a huge sample
+	// count, crafted to drag the aggregated prior away from the true task
+	// distribution. Only statistical quarantine catches it.
+	PoisonAdversarial
+)
 
 // Config tunes a simulation run.
 type Config struct {
@@ -77,6 +100,14 @@ type Config struct {
 	// live transport's ResilientClient policy so the simulator and the
 	// real stack degrade the same way.
 	Retry edge.RetryPolicy
+	// Admission turns on the cloud's admission control: uploads are
+	// semantically validated (rejects never enter the pool) and the
+	// admission judge quarantines statistical outliers out of rebuilds —
+	// mirroring the live CloudServer with SetAdmission.
+	Admission bool
+	// TrimFrac caps the fraction of the pool one judgment round may
+	// quarantine (0 = dpprior default). Only meaningful with Admission.
+	TrimFrac float64
 	// OutageStart/OutageEnd model a cloud crash and recovery: in
 	// [OutageStart, OutageEnd) every cloud interaction fails after the
 	// retry budget, so arriving devices train prior-free and refreshing
@@ -123,6 +154,8 @@ type DeviceResult struct {
 	FullRefreshes   int           // refreshes that moved the full prior
 	CachedFallbacks int           // refreshes that fell back to the held prior (cloud down/unreachable)
 	FinalVersion    uint64        // prior version held when the run ended
+	Rejected        bool          // upload refused by semantic validation
+	Quarantined     bool          // upload admitted but held out of rebuilds by the judge
 }
 
 // Result aggregates the run.
@@ -140,6 +173,9 @@ type Result struct {
 	FullRefreshes   int // refreshes that moved the full prior
 	CachedFallbacks int // refreshes that fell back to the held prior
 	DeltaBytesSaved int // full-prior bytes the delta refreshes avoided
+
+	RejectedUploads    int // uploads refused by semantic validation
+	QuarantinedUploads int // uploads held out of rebuilds by the admission judge
 }
 
 // event is one scheduled simulator transition.
@@ -182,39 +218,125 @@ const simDeltaHistory = 8
 // delta refreshes — the same retention the live CloudServer has.
 type cloudState struct {
 	tasks        []dpprior.TaskPosterior
-	pendingSince int // tasks not yet folded into the served prior
+	taskDev      []int // device index that reported tasks[i]
+	pendingSince int   // tasks not yet folded into the served prior
 	served       *dpprior.Prior
 	version      uint64
 	rebuilds     int
 	alpha        float64
 	seed         int64
+	admission    bool
+	trimFrac     float64
+	dim          int          // pinned by the first admitted task
+	rejected     int          // uploads refused by validation
+	decided      map[int]bool // task index → quarantined
+	deferred     map[int]bool // flagged but over budget last round: no verdict yet
 	history      map[uint64]*dpprior.Prior
 	histOrder    []uint64
 }
 
-func (c *cloudState) report(t dpprior.TaskPosterior, rebuildEvery int) error {
-	c.tasks = append(c.tasks, t)
-	c.pendingSince++
-	if c.pendingSince >= rebuildEvery {
-		p, err := dpprior.Build(c.tasks, dpprior.BuildOptions{Alpha: c.alpha, Seed: c.seed})
-		if err != nil {
-			return fmt.Errorf("sim: cloud rebuild: %w", err)
+// report handles one uploaded posterior; accepted is false when
+// admission validation refused it (the upload never enters the pool).
+func (c *cloudState) report(t dpprior.TaskPosterior, dev, rebuildEvery int) (accepted bool) {
+	if c.admission {
+		if err := t.Validate(c.dim); err != nil {
+			c.rejected++
+			return false
 		}
-		c.served = p
-		c.version++
-		c.rebuilds++
-		c.pendingSince = 0
-		if c.history == nil {
-			c.history = make(map[uint64]*dpprior.Prior, simDeltaHistory)
-		}
-		c.history[c.version] = p
-		c.histOrder = append(c.histOrder, c.version)
-		for len(c.histOrder) > simDeltaHistory {
-			delete(c.history, c.histOrder[0])
-			c.histOrder = c.histOrder[1:]
+		if c.dim == 0 {
+			c.dim = len(t.Mu)
 		}
 	}
-	return nil
+	c.tasks = append(c.tasks, t)
+	c.taskDev = append(c.taskDev, dev)
+	c.pendingSince++
+	if c.pendingSince >= rebuildEvery {
+		c.rebuild()
+		c.pendingSince = 0
+	}
+	return true
+}
+
+// rebuild folds admitted tasks into a fresh served prior, mirroring the
+// live server: a failed build keeps the previous prior serving.
+func (c *cloudState) rebuild() {
+	admitted := c.admit()
+	if len(admitted) == 0 {
+		return
+	}
+	p, err := dpprior.Build(admitted, dpprior.BuildOptions{Alpha: c.alpha, Seed: c.seed})
+	if err != nil {
+		return
+	}
+	c.served = p
+	c.version++
+	c.rebuilds++
+	if c.history == nil {
+		c.history = make(map[uint64]*dpprior.Prior, simDeltaHistory)
+	}
+	c.history[c.version] = p
+	c.histOrder = append(c.histOrder, c.version)
+	for len(c.histOrder) > simDeltaHistory {
+		delete(c.history, c.histOrder[0])
+		c.histOrder = c.histOrder[1:]
+	}
+}
+
+// admit mirrors CloudServer.admit: undecided tasks are judged against
+// the served prior, verdicts stick, and the admitted set is assembled in
+// report order (which keeps a seeded Build byte-identical to a clean
+// baseline when the admitted sets match). Candidates the judge flagged
+// but could not quarantine within the trim budget get no verdict: they
+// are held out of this rebuild and re-judged next round.
+func (c *cloudState) admit() []dpprior.TaskPosterior {
+	if !c.admission {
+		return c.tasks
+	}
+	if c.decided == nil {
+		c.decided = make(map[int]bool)
+	}
+	var acceptedRef, undecided []dpprior.TaskPosterior
+	var undecidedIdx []int
+	for i, t := range c.tasks {
+		q, ok := c.decided[i]
+		switch {
+		case !ok:
+			undecided = append(undecided, t)
+			undecidedIdx = append(undecidedIdx, i)
+		case !q:
+			acceptedRef = append(acceptedRef, t)
+		}
+	}
+	deferred := make(map[int]bool)
+	if len(undecided) > 0 {
+		var served *dpprior.Compiled
+		if c.served != nil {
+			if comp, err := dpprior.Compile(c.served); err == nil {
+				served = comp
+			}
+		}
+		opts := dpprior.AdmissionOptions{TrimFrac: c.trimFrac}
+		if q, def, ok := dpprior.Judge(served, acceptedRef, undecided, opts); ok {
+			for i, quarantined := range q {
+				if def[i] {
+					// Flagged but over the trim budget: no sticky verdict,
+					// held out of this rebuild, re-judged next round.
+					deferred[undecidedIdx[i]] = true
+					continue
+				}
+				c.decided[undecidedIdx[i]] = quarantined
+			}
+		}
+	}
+	c.deferred = deferred
+	admitted := make([]dpprior.TaskPosterior, 0, len(c.tasks))
+	for i, t := range c.tasks {
+		if c.decided[i] || deferred[i] {
+			continue
+		}
+		admitted = append(admitted, t)
+	}
+	return admitted
 }
 
 // restart models the recovery side of an outage: the durable store
@@ -292,7 +414,12 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 		}
 	}
 
-	cloud := &cloudState{alpha: cfg.Alpha, seed: cfg.Seed + 1}
+	cloud := &cloudState{
+		alpha:     cfg.Alpha,
+		seed:      cfg.Seed + 1,
+		admission: cfg.Admission,
+		trimFrac:  cfg.TrimFrac,
+	}
 	// Link faults draw from their own stream so enabling loss does not
 	// perturb task sampling.
 	linkRng := rand.New(rand.NewSource(cfg.Seed + 2))
@@ -402,12 +529,17 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 			push(e.at+d.result.UplinkTime, evReportArrived, e.dev)
 
 		case evReportArrived:
-			if err := cloud.report(dpprior.TaskPosterior{
+			task := dpprior.TaskPosterior{
 				Mu:    d.fit.Params,
 				Sigma: d.cov,
 				N:     d.train.Len(),
-			}, cfg.RebuildEvery); err != nil {
-				return nil, err
+			}
+			if d.spec.Poison != PoisonNone {
+				task = poisonTask(task, d.spec.Poison)
+			}
+			if !cloud.report(task, e.dev, cfg.RebuildEvery) {
+				d.result.Rejected = true
+				out.RejectedUploads++
 			}
 
 		case evRefresh:
@@ -454,6 +586,20 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 		}
 	}
 
+	for idx, quarantined := range cloud.decided {
+		if quarantined {
+			devices[cloud.taskDev[idx]].result.Quarantined = true
+			out.QuarantinedUploads++
+		}
+	}
+	// A task still deferred when the run ends never got a verdict, but it
+	// was held out of rebuilds by the judge all the same — report it.
+	for idx, def := range cloud.deferred {
+		if def {
+			devices[cloud.taskDev[idx]].result.Quarantined = true
+			out.QuarantinedUploads++
+		}
+	}
 	for _, d := range devices {
 		d.result.FinalVersion = d.version
 		out.Devices = append(out.Devices, d.result)
@@ -480,5 +626,36 @@ func Run(cfg Config, specs []DeviceSpec) (*Result, error) {
 	telemetry.SimFullRefreshes.Add(float64(out.FullRefreshes))
 	telemetry.SimCachedFallbacks.Add(float64(out.CachedFallbacks))
 	telemetry.SimDeltaSavedBytes.Add(float64(out.DeltaBytesSaved))
+	telemetry.SimRejected.Add(float64(out.RejectedUploads))
+	telemetry.SimQuarantined.Add(float64(out.QuarantinedUploads))
 	return out, nil
+}
+
+// poisonTask corrupts an honest posterior per the device's poison kind.
+// It never touches the honest task's backing arrays (clean uploads stay
+// bit-identical across poisoned and clean runs).
+func poisonTask(t dpprior.TaskPosterior, kind PoisonKind) dpprior.TaskPosterior {
+	dim := len(t.Mu)
+	mu := make([]float64, dim)
+	switch kind {
+	case PoisonNaN:
+		copy(mu, t.Mu)
+		mu[0] = math.NaN()
+		return dpprior.TaskPosterior{Mu: mu, Sigma: t.Sigma, N: t.N}
+	case PoisonAdversarial:
+		// Finite and well-formed, but hostile: a small-norm anti-correlated
+		// mean, overconfident (tiny covariance) and heavy (huge N). The
+		// small norm keeps the basin cheap in data loss, so the component's
+		// overconfident density spike can win the multi-start objective on
+		// data-poor devices — a far-off mean would lose that race outright —
+		// and the huge N hijacks any sample-weighted aggregation it reaches.
+		for j, v := range t.Mu {
+			mu[j] = -0.2 * v
+		}
+		sigma := mat.Eye(dim)
+		sigma.ScaleBy(1e-4)
+		return dpprior.TaskPosterior{Mu: mu, Sigma: sigma, N: 100000}
+	default:
+		return t
+	}
 }

@@ -10,14 +10,15 @@ import (
 )
 
 // Framing: [4-byte big-endian payload length][4-byte IEEE CRC32][payload].
+// Shared by the task log and the verdict sidecar.
 const headerBytes = 8
 
-// encodeRecord frames one log record: gob payload with a length prefix
-// and checksum. Each record gets its own encoder so it is self-contained
-// on the read side (recovery can decode any intact prefix).
-func encodeRecord(rec logRecord) ([]byte, error) {
+// encodePayload frames one gob value with a length prefix and checksum.
+// Each value gets its own encoder so it is self-contained on the read
+// side (recovery can decode any intact prefix).
+func encodePayload(v any) ([]byte, error) {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 		return nil, fmt.Errorf("store: encode record: %w", err)
 	}
 	frame := make([]byte, headerBytes+payload.Len())
@@ -27,31 +28,40 @@ func encodeRecord(rec logRecord) ([]byte, error) {
 	return frame, nil
 }
 
-// readRecord reads one framed record from r, returning it and the bytes
+// readPayload reads one framed value from r into v, returning the bytes
 // consumed. io.EOF means a clean end of log; any other error marks a
 // torn or corrupt record (the caller truncates there).
-func readRecord(r io.Reader, maxBytes int64) (logRecord, int64, error) {
-	var rec logRecord
+func readPayload(r io.Reader, maxBytes int64, v any) (int64, error) {
 	var hdr [headerBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return rec, 0, io.EOF // clean boundary
+			return 0, io.EOF // clean boundary
 		}
-		return rec, 0, fmt.Errorf("store: torn record header: %w", err)
+		return 0, fmt.Errorf("store: torn record header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[0:4])
 	if int64(n) > maxBytes {
-		return rec, 0, fmt.Errorf("store: record length %d exceeds limit %d", n, maxBytes)
+		return 0, fmt.Errorf("store: record length %d exceeds limit %d", n, maxBytes)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return rec, 0, fmt.Errorf("store: torn record payload: %w", err)
+		return 0, fmt.Errorf("store: torn record payload: %w", err)
 	}
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[4:8]) {
-		return rec, 0, fmt.Errorf("store: record checksum mismatch")
+		return 0, fmt.Errorf("store: record checksum mismatch")
 	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-		return rec, 0, fmt.Errorf("store: decode record: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return 0, fmt.Errorf("store: decode record: %w", err)
 	}
-	return rec, headerBytes + int64(n), nil
+	return headerBytes + int64(n), nil
+}
+
+func encodeRecord(rec logRecord) ([]byte, error) {
+	return encodePayload(rec)
+}
+
+func readRecord(r io.Reader, maxBytes int64) (logRecord, int64, error) {
+	var rec logRecord
+	n, err := readPayload(r, maxBytes, &rec)
+	return rec, n, err
 }

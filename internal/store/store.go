@@ -7,8 +7,9 @@
 //
 // A store directory holds at most two files:
 //
-//	snapshot.gob   gob({Version, Tasks}) — the compacted prefix
+//	snapshot.gob   gob({Version, Tasks, Seqs, Verdicts}) — the compacted prefix
 //	tasks.log      framed records appended since the snapshot
+//	verdicts.log   framed admission verdicts appended since the snapshot
 //
 // Each log record is framed as
 //
@@ -34,6 +35,17 @@
 // of the task slice (appends never mutate published entries), which is
 // what lets the cloud's rebuild worker read the task set without
 // blocking appenders.
+//
+// # Admission integrity
+//
+// With Options.Validate set, recovery re-validates every task it reads:
+// a CRC-valid record that fails semantic validation (a poisoned posterior
+// written before validation existed, or bit rot that survived the
+// checksum) is dropped — its sequence number still advances the version,
+// preserving the S17 invariant — and counted in RecoveryInfo. Quarantine
+// verdicts from the cloud's admission judge persist in a sidecar log
+// (SetVerdicts/Verdicts) with the same framing, so a restart keeps
+// every past verdict.
 package store
 
 import (
@@ -80,6 +92,11 @@ type Options struct {
 	MaxRecordBytes int64
 	// Logger receives recovery notices; nil picks the default handler.
 	Logger *slog.Logger
+	// Validate, when non-nil, re-checks every task read during recovery;
+	// a task it rejects is dropped (the sequence number still advances
+	// the version) and counted in RecoveryInfo.InvalidRecords. Appends
+	// are not gated here — the cloud validates before appending.
+	Validate func(dpprior.TaskPosterior) error
 }
 
 // RecoveryInfo reports what Open found on disk.
@@ -89,6 +106,7 @@ type RecoveryInfo struct {
 	SkippedRecords int   // log records already covered by the snapshot
 	TruncatedBytes int64 // torn/corrupt tail bytes chopped off the log
 	Truncated      bool  // recovery found and removed a bad tail
+	InvalidRecords int   // CRC-valid tasks dropped by Options.Validate
 }
 
 // Store is a crash-safe, append-only task-posterior store.
@@ -98,9 +116,12 @@ type Store struct {
 
 	mu        sync.Mutex
 	tasks     []dpprior.TaskPosterior
+	seqs      []uint64 // seqs[i] is the store version that appended tasks[i]
+	verdicts  map[uint64]bool
 	version   uint64 // == total tasks appended, ever
 	sinceSnap int    // records in the log since the last snapshot
 	logF      *os.File
+	verdictF  *os.File
 	closed    bool
 	recovery  RecoveryInfo
 }
@@ -113,10 +134,15 @@ type logRecord struct {
 	Task dpprior.TaskPosterior
 }
 
-// snapshotFile is the compacted on-disk prefix.
+// snapshotFile is the compacted on-disk prefix. Seqs and Verdicts are
+// absent from pre-admission snapshots; gob decodes them as nil and
+// recovery derives Seqs as the contiguous prefix (which is exactly what
+// it was before tasks could be dropped).
 type snapshotFile struct {
-	Version uint64
-	Tasks   []dpprior.TaskPosterior
+	Version  uint64
+	Tasks    []dpprior.TaskPosterior
+	Seqs     []uint64
+	Verdicts map[uint64]bool
 }
 
 // Open opens (or creates) a store, recovering the task set from the
@@ -130,7 +156,11 @@ func Open(opts Options) (*Store, error) {
 	if opts.MaxRecordBytes <= 0 {
 		opts.MaxRecordBytes = DefaultMaxRecordBytes
 	}
-	s := &Store{opts: opts, logger: telemetry.OrDefault(opts.Logger)}
+	s := &Store{
+		opts:     opts,
+		logger:   telemetry.OrDefault(opts.Logger),
+		verdicts: make(map[uint64]bool),
+	}
 	if opts.Dir == "" {
 		return s, nil
 	}
@@ -143,12 +173,20 @@ func Open(opts Options) (*Store, error) {
 	if err := s.replayLog(); err != nil {
 		return nil, err
 	}
+	if err := s.loadVerdicts(); err != nil {
+		return nil, err
+	}
 	if s.recovery.Truncated {
 		telemetry.StoreRecoveries.Inc()
 		telemetry.StoreTruncatedBytes.Add(float64(s.recovery.TruncatedBytes))
 		s.logger.Warn("store: truncated corrupt log tail",
 			"dir", opts.Dir, "bytes", s.recovery.TruncatedBytes,
 			"records", s.recovery.LogRecords)
+	}
+	if s.recovery.InvalidRecords > 0 {
+		telemetry.StoreInvalidRecords.Add(float64(s.recovery.InvalidRecords))
+		s.logger.Warn("store: dropped invalid tasks during recovery",
+			"dir", opts.Dir, "records", s.recovery.InvalidRecords)
 	}
 	telemetry.StoreTasks.Set(float64(len(s.tasks)))
 	return s, nil
@@ -172,7 +210,30 @@ func (s *Store) loadSnapshot() error {
 		return fmt.Errorf("store: snapshot %s holds %d tasks above version %d",
 			path, len(snap.Tasks), snap.Version)
 	}
-	s.tasks = snap.Tasks
+	if snap.Seqs == nil {
+		// Pre-admission snapshot: tasks were the contiguous seq prefix.
+		snap.Seqs = make([]uint64, len(snap.Tasks))
+		for i := range snap.Seqs {
+			snap.Seqs[i] = uint64(i + 1)
+		}
+	}
+	if len(snap.Seqs) != len(snap.Tasks) {
+		return fmt.Errorf("store: snapshot %s holds %d tasks but %d seqs",
+			path, len(snap.Tasks), len(snap.Seqs))
+	}
+	for i, t := range snap.Tasks {
+		if s.opts.Validate != nil {
+			if err := s.opts.Validate(t); err != nil {
+				s.recovery.InvalidRecords++
+				continue
+			}
+		}
+		s.tasks = append(s.tasks, t)
+		s.seqs = append(s.seqs, snap.Seqs[i])
+	}
+	for seq, q := range snap.Verdicts {
+		s.verdicts[seq] = q
+	}
 	s.version = snap.Version
 	s.recovery.SnapshotTasks = len(snap.Tasks)
 	return nil
@@ -214,10 +275,19 @@ func (s *Store) replayLog() error {
 			s.recovery.SkippedRecords++
 			continue
 		}
-		s.tasks = append(s.tasks, rec.Task)
 		s.version = rec.Seq
 		s.recovery.LogRecords++
 		s.sinceSnap++
+		if s.opts.Validate != nil {
+			if err := s.opts.Validate(rec.Task); err != nil {
+				// Drop the task but keep its sequence number: the version
+				// is the count of tasks ever appended, valid or not.
+				s.recovery.InvalidRecords++
+				continue
+			}
+		}
+		s.tasks = append(s.tasks, rec.Task)
+		s.seqs = append(s.seqs, rec.Seq)
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return fmt.Errorf("store: seek log end: %w", err)
@@ -284,6 +354,7 @@ func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
 		telemetry.StoreLogBytes.Add(float64(len(frame)))
 	}
 	s.tasks = append(s.tasks, t)
+	s.seqs = append(s.seqs, seq)
 	s.version = seq
 	s.sinceSnap++
 	telemetry.StoreAppends.Inc()
@@ -322,7 +393,11 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("store: snapshot temp: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := gob.NewEncoder(tmp).Encode(snapshotFile{Version: s.version, Tasks: s.tasks}); err != nil {
+	snap := snapshotFile{Version: s.version, Tasks: s.tasks, Seqs: s.seqs}
+	if len(s.verdicts) > 0 {
+		snap.Verdicts = s.verdicts
+	}
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: encode snapshot: %w", err)
 	}
@@ -343,6 +418,15 @@ func (s *Store) snapshotLocked() error {
 	}
 	if _, err := s.logF.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: rewind log: %w", err)
+	}
+	if s.verdictF != nil {
+		// Verdicts are folded into the snapshot; the sidecar restarts empty.
+		if err := s.verdictF.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncate verdict log: %w", err)
+		}
+		if _, err := s.verdictF.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: rewind verdict log: %w", err)
+		}
 	}
 	s.sinceSnap = 0
 	telemetry.StoreSnapshots.Inc()
@@ -368,6 +452,17 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.verdictF != nil {
+		if err := s.verdictF.Sync(); err != nil {
+			s.verdictF.Close()
+			s.logF.Close()
+			return fmt.Errorf("store: sync verdicts on close: %w", err)
+		}
+		if err := s.verdictF.Close(); err != nil {
+			s.logF.Close()
+			return fmt.Errorf("store: close verdicts: %w", err)
+		}
+	}
 	if s.logF == nil {
 		return nil
 	}

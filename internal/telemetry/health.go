@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// HealthFunc reports one component's readiness: nil means healthy. It
+// must be safe for concurrent use and cheap — /healthz calls every
+// registered check on each probe.
+type HealthFunc func() error
+
+var health struct {
+	mu     sync.Mutex
+	next   int
+	checks map[int]healthEntry
+}
+
+type healthEntry struct {
+	name string
+	fn   HealthFunc
+}
+
+// RegisterHealth adds a named readiness check to the process-wide
+// /healthz endpoint and returns a function that removes it (call it from
+// the component's Close). Multiple checks may share a name; each
+// registration is tracked separately.
+func RegisterHealth(name string, fn HealthFunc) (unregister func()) {
+	health.mu.Lock()
+	defer health.mu.Unlock()
+	if health.checks == nil {
+		health.checks = make(map[int]healthEntry)
+	}
+	tok := health.next
+	health.next++
+	health.checks[tok] = healthEntry{name: name, fn: fn}
+	return func() {
+		health.mu.Lock()
+		defer health.mu.Unlock()
+		delete(health.checks, tok)
+	}
+}
+
+// HealthErrors runs every registered check and returns the failing ones
+// by name (empty map = ready). Exposed for tests and embedders.
+func HealthErrors() map[string]error {
+	health.mu.Lock()
+	entries := make([]healthEntry, 0, len(health.checks))
+	for _, e := range health.checks {
+		entries = append(entries, e)
+	}
+	health.mu.Unlock()
+	out := make(map[string]error)
+	for _, e := range entries {
+		// Checks run outside the lock so a slow check cannot block
+		// registration, and a check may itself register/unregister.
+		if err := e.fn(); err != nil {
+			out[e.name] = err
+		}
+	}
+	return out
+}
+
+// healthHandler answers /healthz: 200 "ok" when every registered check
+// passes, 503 listing the failing checks otherwise. No registered checks
+// means ready (a bare telemetry process has nothing to wait for).
+func healthHandler(w http.ResponseWriter, _ *http.Request) {
+	failing := HealthErrors()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(failing) == 0 {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	names := make([]string, 0, len(failing))
+	for name := range failing {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s: %v\n", name, failing[name])
+	}
+}

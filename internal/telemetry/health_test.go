@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHealthRegisterAndUnregister(t *testing.T) {
+	failing := errors.New("not ready")
+	stop := RegisterHealth("widget", func() error { return failing })
+	stopOK := RegisterHealth("gadget", func() error { return nil })
+	defer stopOK()
+
+	errs := HealthErrors()
+	if errs["widget"] == nil {
+		t.Error("failing check not reported")
+	}
+	if _, ok := errs["gadget"]; ok {
+		t.Error("healthy check reported as failing")
+	}
+
+	stop()
+	if errs := HealthErrors(); errs["widget"] != nil {
+		t.Error("unregistered check still reported")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	mux := NewMux(nil)
+
+	get := func() (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		mux.ServeHTTP(rec, req)
+		body, err := io.ReadAll(rec.Result().Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, string(body)
+	}
+
+	code, body := get()
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("ready probe: %d %q", code, body)
+	}
+
+	stop := RegisterHealth("stuck-worker", func() error {
+		return errors.New("wedged")
+	})
+	code, body = get()
+	if code != 503 {
+		t.Errorf("failing probe status %d, want 503", code)
+	}
+	if !strings.Contains(body, "stuck-worker") || !strings.Contains(body, "wedged") {
+		t.Errorf("failing probe body %q lacks check name and error", body)
+	}
+
+	stop()
+	if code, _ := get(); code != 200 {
+		t.Errorf("probe still failing after unregister: %d", code)
+	}
+}

@@ -73,6 +73,7 @@ func jsonSafeSnapshot(v Values) map[string]any {
 // NewMux returns a mux with the full observability surface mounted:
 //
 //	/metrics      Prometheus text exposition of r (nil = Default)
+//	/healthz      readiness: 200 when every RegisterHealth check passes
 //	/debug/vars   expvar JSON (includes a "drdp" snapshot of Default)
 //	/debug/pprof  the standard pprof index, profiles and traces
 //
@@ -81,6 +82,7 @@ func NewMux(r *Registry) *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/healthz", healthHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -95,6 +97,7 @@ func NewMux(r *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]string{
 			"metrics": "/metrics",
+			"healthz": "/healthz",
 			"expvar":  "/debug/vars",
 			"pprof":   "/debug/pprof/",
 		})

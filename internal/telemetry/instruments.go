@@ -58,6 +58,17 @@ var (
 	ServerPriorVersion   = Default.Gauge("drdp_edge_server_prior_version")
 	ServerRebuilds       = Default.Counter("drdp_edge_server_prior_rebuilds_total")
 
+	// --- admission control & overload protection ----------------------
+	ServerAdmitAccepted    = Default.Counter("drdp_edge_server_admission_total", L("verdict", "accepted"))
+	ServerAdmitRejected    = Default.Counter("drdp_edge_server_admission_total", L("verdict", "rejected"))
+	ServerAdmitQuarantined = Default.Counter("drdp_edge_server_admission_total", L("verdict", "quarantined"))
+	ServerAdmitDeferred    = Default.Counter("drdp_edge_server_admission_total", L("verdict", "deferred"))
+	ServerShedMaxConns     = Default.Counter("drdp_edge_server_shed_total", L("reason", "max-conns"))
+	ServerShedTimeout      = Default.Counter("drdp_edge_server_shed_total", L("reason", "handler-timeout"))
+	ServerInflight         = Default.Gauge("drdp_edge_server_inflight")
+	ServerRebuildStalled   = Default.Gauge("drdp_edge_server_rebuild_stalled")
+	EdgeClientOverloaded   = Default.Counter("drdp_edge_client_overloaded_total")
+
 	// --- training core ------------------------------------------------
 	CoreFits           = Default.Counter("drdp_core_fits_total")
 	CoreFitSeconds     = Default.Histogram("drdp_core_fit_seconds", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60})
@@ -83,6 +94,7 @@ var (
 	StoreRecoveries     = Default.Counter("drdp_store_recoveries_total")
 	StoreTruncatedBytes = Default.Counter("drdp_store_truncated_bytes_total")
 	StoreTasks          = Default.Gauge("drdp_store_tasks")
+	StoreInvalidRecords = Default.Counter("drdp_store_invalid_records_total")
 
 	// --- prior delta sync ---------------------------------------------
 	ServerPriorFull         = Default.Counter("drdp_edge_server_prior_responses_total", L("kind", "full"))
@@ -107,6 +119,10 @@ var (
 	SimFullRefreshes   = Default.Counter("drdp_sim_full_refreshes_total")
 	SimCachedFallbacks = Default.Counter("drdp_sim_cached_fallbacks_total")
 	SimDeltaSavedBytes = Default.Counter("drdp_sim_delta_saved_bytes_total")
+
+	// --- fleet simulator: poisoned-edge scenario ----------------------
+	SimRejected    = Default.Counter("drdp_sim_rejected_uploads_total")
+	SimQuarantined = Default.Counter("drdp_sim_quarantined_total")
 )
 
 // ServerReqCounter maps a protocol request-kind name (RequestKind
@@ -245,6 +261,14 @@ func init() {
 		"drdp_sim_full_refreshes_total":            "Simulated refreshes that fell back to a full prior.",
 		"drdp_sim_cached_fallbacks_total":          "Simulated refreshes that kept the cached prior (cloud down).",
 		"drdp_sim_delta_saved_bytes_total":         "Simulated wire bytes saved by delta refreshes.",
+		"drdp_edge_server_admission_total":         "Task-posterior admission decisions, by verdict.",
+		"drdp_edge_server_shed_total":              "Requests shed under overload, by reason.",
+		"drdp_edge_server_inflight":                "Request dispatches currently executing.",
+		"drdp_edge_server_rebuild_stalled":         "1 while the rebuild worker exceeds its watchdog timeout, else 0.",
+		"drdp_edge_client_overloaded_total":        "Round trips shed by the server with CodeOverloaded (retried after backoff).",
+		"drdp_store_invalid_records_total":         "CRC-valid but semantically invalid tasks dropped during recovery.",
+		"drdp_sim_rejected_uploads_total":          "Simulated task uploads rejected by admission validation.",
+		"drdp_sim_quarantined_total":               "Simulated tasks quarantined by the admission judge.",
 	} {
 		Default.SetHelp(name, help)
 	}
