@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json
+.PHONY: all build vet test race check bench bench-json chaos
 
 all: check
 
@@ -22,6 +22,13 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Failover/partition chaos: the replicated-tier tests (leader kill
+# mid-round, torn-tail restart, semi-sync acks, verdict replication)
+# repeated under the race detector.
+chaos:
+	$(GO) test -race -count=2 -run 'Cluster|Repl|Follower|SemiSync|Dedupe|MinVersion|PullLog' \
+		./internal/cluster/ ./internal/sim/ ./internal/edge/
 
 # Machine-readable evaluation: BENCH_<id>.json per experiment (fast
 # workload; drop -fast for the full one).

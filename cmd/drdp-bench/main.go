@@ -59,6 +59,7 @@ var jobs = []job{
 	{id: "table12", table: experiment.Table12LossyLinks},
 	{id: "table13", table: experiment.Table13Parallel},
 	{id: "table14", table: experiment.Table14PoisonedEdges},
+	{id: "table15", table: experiment.Table15ShardedCluster},
 }
 
 func main() {
@@ -70,7 +71,7 @@ func main() {
 
 func run() error {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (table1..table14, fig1..fig12); empty = all")
+		only     = flag.String("only", "", "comma-separated experiment ids (table1..table15, fig1..fig12); empty = all")
 		csvDir   = flag.String("csv", "", "directory for CSV output (created if missing)")
 		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
 		reps     = flag.Int("reps", 3, "repetitions (seeds) per configuration")

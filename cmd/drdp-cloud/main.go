@@ -9,6 +9,19 @@
 //	drdp-cloud -addr :7600 -seed-tasks 8 -dim 20   # pre-warm with synthetic tasks
 //	drdp-cloud -addr :7600 -telemetry-addr :9090   # + /metrics, expvar, pprof
 //
+// Replication (the shard tier's leader/follower roles):
+//
+//	drdp-cloud -addr :7600 -role leader -sync-replicas 1
+//	drdp-cloud -addr :7601 -role follower -leader-addr 127.0.0.1:7600 -follower-id 1 -data-dir /var/lib/drdp-f1
+//
+// A follower streams the leader's append-only log (verbatim frames,
+// fsync-gated), serves reads from the prior it builds locally, and
+// refuses writes with a not-leader answer. Its durable version doubles
+// as its acknowledgement: with -sync-replicas the leader holds each
+// upload's ack until that many followers have it. The follower's
+// replication lag is exported as drdp_repl_lag_seq and checked on
+// /healthz.
+//
 // With -data-dir every reported task is appended to a crash-safe log
 // before it is acknowledged, and a restart recovers the exact task set
 // and prior version the previous process was serving. Seed tasks apply
@@ -29,9 +42,11 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"github.com/drdp/drdp/internal/baseline"
+	"github.com/drdp/drdp/internal/cluster"
 	"github.com/drdp/drdp/internal/data"
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/edge"
@@ -68,6 +83,13 @@ func run() error {
 		quarantine     = flag.Bool("quarantine", false, "statistically quarantine outlier task posteriors out of prior rebuilds")
 		trimFrac       = flag.Float64("trim-frac", 0, "max fraction of stored tasks one quarantine round may trim (0 = default)")
 		rebuildTimeout = flag.Duration("rebuild-timeout", edge.DefaultRebuildTimeout, "rebuild watchdog stall threshold (flags via telemetry and /healthz)")
+
+		role         = flag.String("role", "", "replica role: leader|follower (empty = standalone; leader additionally dedupes retried uploads)")
+		leaderAddr   = flag.String("leader-addr", "", "leader address to replicate from (required with -role follower)")
+		followerID   = flag.Int("follower-id", 1, "this follower's id on the replication stream (unique per leader, > 0)")
+		syncReplicas = flag.Int("sync-replicas", 0, "follower acks gating each append on a leader (0 = asynchronous)")
+		ackTimeout   = flag.Duration("ack-timeout", edge.DefaultAckTimeout, "semi-sync ack wait bound; on expiry the append is acked under-replicated (counted and logged)")
+		maxLag       = flag.Uint64("max-healthy-lag", cluster.DefaultMaxHealthyLag, "replication lag (sequence numbers) beyond which a follower's /healthz reports unhealthy")
 	)
 	flag.Parse()
 
@@ -139,13 +161,66 @@ func run() error {
 		logger.Info("admission quarantine enabled", "trim_frac", *trimFrac)
 	}
 
-	// A signal shuts down in order: stop accepting, drain handlers, stop
-	// the rebuild worker, sync and close the store — then exit 0.
+	var stopRepl chan struct{}
+	switch *role {
+	case "":
+		// Standalone: the pre-tier single-cloud deployment, unchanged.
+	case "leader":
+		// Dedupe makes ambiguous retried uploads idempotent — required for
+		// byte-identical recovery when a failed-over edge resends.
+		srv.EnableDedupe()
+		if *syncReplicas > 0 {
+			srv.SetSemiSync(*syncReplicas, *ackTimeout)
+			logger.Info("semi-synchronous appends enabled",
+				"sync_replicas", *syncReplicas, "ack_timeout", *ackTimeout)
+		}
+	case "follower":
+		if *leaderAddr == "" {
+			srv.Close()
+			return fmt.Errorf("-role follower requires -leader-addr")
+		}
+		if *followerID <= 0 {
+			srv.Close()
+			return fmt.Errorf("-follower-id must be > 0, got %d", *followerID)
+		}
+		srv.SetFollower(true)
+		srv.EnableDedupe()
+		var lag atomic.Uint64
+		unregister := telemetry.RegisterHealth("repl-lag", func() error {
+			if l := lag.Load(); l > *maxLag {
+				return fmt.Errorf("replication lag %d exceeds %d", l, *maxLag)
+			}
+			return nil
+		})
+		defer unregister()
+		gauge := telemetry.ReplLagGauge(fmt.Sprintf("follower-%d", *followerID))
+		stopRepl = make(chan struct{})
+		go cluster.Replicate(srv, *leaderAddr, cluster.ReplicateOptions{
+			FollowerID: *followerID,
+			Seed:       *seed,
+			Logger:     logger,
+			OnLag: func(l uint64) {
+				lag.Store(l)
+				gauge.Set(float64(l))
+			},
+		}, stopRepl)
+		logger.Info("following leader", "leader", *leaderAddr, "follower_id", *followerID)
+	default:
+		srv.Close()
+		return fmt.Errorf("unknown -role %q (want leader|follower)", *role)
+	}
+
+	// A signal shuts down in order: stop replicating, stop accepting,
+	// drain handlers, stop the rebuild worker, sync and close the store —
+	// then exit 0.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
 		logger.Info("shutting down", "signal", sig.String())
+		if stopRepl != nil {
+			close(stopRepl)
+		}
 		if err := srv.Close(); err != nil {
 			logger.Error("shutdown error", "err", err)
 		}

@@ -6,11 +6,20 @@
 //
 //	drdp-sim                                   # defaults: 4+8 over wifi
 //	drdp-sim -link 3g -pioneers 6 -late 12 -rebuild-every 4
+//
+// With -cluster the command instead runs the replicated-shard-tier
+// scenario: a REAL in-process cluster (live listeners, log streaming,
+// coordinator probes) fed rounds of task uploads, with an optional
+// leader kill mid-round:
+//
+//	drdp-sim -cluster -shards 3 -replicas 2
+//	drdp-sim -cluster -shards 3 -replicas 2 -kill-shard 0 -kill-round 3
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -49,8 +58,20 @@ func run() error {
 		poisonKind = flag.String("poison-kind", "adversarial", "poison payload: nan|adversarial")
 		admission  = flag.Bool("admission", false, "cloud validates uploads and quarantines statistical outliers")
 		trimFrac   = flag.Float64("trim-frac", 0, "max fraction of stored tasks one quarantine round may trim (0 = default)")
+
+		clusterMode = flag.Bool("cluster", false, "run the replicated-shard-tier scenario instead of the fleet simulator")
+		shards      = flag.Int("shards", 3, "cluster: shard count")
+		replicas    = flag.Int("replicas", 2, "cluster: replicas per shard (including the leader)")
+		rounds      = flag.Int("rounds", 6, "cluster: upload rounds")
+		perRound    = flag.Int("tasks-per-round", 4, "cluster: uploads per round")
+		killShard   = flag.Int("kill-shard", -1, "cluster: kill this shard's leader mid-round (-1 = no fault)")
+		killRound   = flag.Int("kill-round", 2, "cluster: round before which the kill fires")
 	)
 	flag.Parse()
+
+	if *clusterMode {
+		return runCluster(*shards, *replicas, *rounds, *perRound, *dim, *killShard, *killRound, *seed)
+	}
 
 	var link edge.LinkProfile
 	switch *linkName {
@@ -136,14 +157,47 @@ func run() error {
 
 	if *metrics {
 		snap := telemetry.Snapshot()
-		fmt.Printf("telemetry: %.0f fits, %.0f EM iterations, %.0f M-step iterations\n",
-			snap.Counter("drdp_core_fits_total"),
-			snap.Counter("drdp_core_em_iterations_total"),
-			snap.Counter("drdp_core_mstep_iterations_total"))
-		if h, ok := snap.Histogram("drdp_core_fit_seconds"); ok && h.Count > 0 {
-			fmt.Printf("fit time: p50 %.1fms, p99 %.1fms (wall-clock; the simulated clock uses the compute model)\n",
-				h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3)
-		}
+		printSimTelemetry(snap)
 	}
+	return nil
+}
+
+func printSimTelemetry(snap telemetry.Values) {
+	fmt.Printf("telemetry: %.0f fits, %.0f EM iterations, %.0f M-step iterations\n",
+		snap.Counter("drdp_core_fits_total"),
+		snap.Counter("drdp_core_em_iterations_total"),
+		snap.Counter("drdp_core_mstep_iterations_total"))
+	if h, ok := snap.Histogram("drdp_core_fit_seconds"); ok && h.Count > 0 {
+		fmt.Printf("fit time: p50 %.1fms, p99 %.1fms (wall-clock; the simulated clock uses the compute model)\n",
+			h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3)
+	}
+}
+
+// runCluster drives the replicated-shard-tier scenario and prints its
+// throughput, failover timings, and recovery verdict.
+func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound int, seed int64) error {
+	res, err := sim.RunCluster(sim.ClusterConfig{
+		Shards:        shards,
+		Replicas:      replicas,
+		Rounds:        rounds,
+		TasksPerRound: perRound,
+		Dim:           dim,
+		KillShard:     killShard,
+		KillRound:     killRound,
+		Seed:          seed,
+		Logger:        telemetry.NewLogger(slog.LevelInfo).With("component", "drdp-sim"),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d shards × %d replicas, %d tasks over %d rounds in %v (%.1f rounds/s)\n",
+		res.Shards, res.Replicas, res.Tasks, res.Rounds,
+		res.Elapsed.Round(time.Millisecond), res.RoundsPerSec)
+	if res.Killed != "" {
+		fmt.Printf("fault: killed leader %s; failover %v, read-path recovery %v\n",
+			res.Killed, res.FailoverTime.Round(time.Millisecond), res.RecoveryTime.Round(time.Millisecond))
+	}
+	fmt.Printf("final: shard-map v%d, per-shard versions %v, merged prior %d components (%d bytes)\n",
+		res.MapVersion, res.FinalVersions, res.MergedComponents, len(res.PriorBytes))
 	return nil
 }

@@ -30,6 +30,7 @@ package drdp
 
 import (
 	"github.com/drdp/drdp/internal/baseline"
+	"github.com/drdp/drdp/internal/cluster"
 	"github.com/drdp/drdp/internal/core"
 	"github.com/drdp/drdp/internal/data"
 	"github.com/drdp/drdp/internal/dpprior"
@@ -328,6 +329,48 @@ var (
 	OpenStore = store.Open
 	// ErrStoreClosed reports use of a closed task store.
 	ErrStoreClosed = store.ErrClosed
+)
+
+// Replicated shard tier: task uploads routed across N shards by content
+// fingerprint, each shard a leader plus followers streaming its
+// append-only log (byte-identical replication, fsync-gated acks), a
+// coordinator that promotes the longest-acked follower on leader loss,
+// and a sharded client that merges per-shard component sets into one DP
+// prior.
+type (
+	// ClusterConfig sizes an in-process cluster (StartCluster).
+	ClusterConfig = cluster.Config
+	// Cluster is a running shard tier: nodes plus coordinator.
+	Cluster = cluster.Cluster
+	// ClusterNodeConfig configures one replica (StartClusterNode).
+	ClusterNodeConfig = cluster.NodeConfig
+	// ClusterNode is one running replica.
+	ClusterNode = cluster.Node
+	// ClusterCoordinator owns the shard map and failover.
+	ClusterCoordinator = cluster.Coordinator
+	// ShardedClient routes uploads by fingerprint and merges shard priors.
+	ShardedClient = cluster.ShardedClient
+	// ShardMap is the coordinator's versioned shard→replicas routing table.
+	ShardMap = edge.ShardMap
+	// ReplicateOptions tunes a standalone Replicate loop.
+	ReplicateOptions = cluster.ReplicateOptions
+)
+
+var (
+	// StartCluster launches Shards×Replicas nodes plus a coordinator in
+	// this process (the sim/test harness).
+	StartCluster = cluster.Start
+	// StartClusterNode starts one replica (leader, or follower of
+	// NodeConfig.LeaderAddr).
+	StartClusterNode = cluster.StartNode
+	// DialSharded connects a sharded client to a coordinator.
+	DialSharded = cluster.DialSharded
+	// Replicate streams a leader's log into a follower CloudServer until
+	// stop closes — the loop behind drdp-cloud's -role follower.
+	Replicate = cluster.Replicate
+	// MergePriors merges per-shard DP priors into one global prior
+	// (deterministic in shard order).
+	MergePriors = dpprior.MergePriors
 )
 
 var (

@@ -16,6 +16,12 @@
 // pre-crash prior resynchronizes with a component-level delta instead
 // of re-downloading the full prior.
 //
+// Phase 5 scales the cloud out: a replicated shard tier (3 shards × 2
+// replicas) routes uploads by content fingerprint, streams each
+// leader's log to its follower, and survives a leader kill mid-round —
+// the coordinator promotes the caught-up follower and the merged prior
+// comes back byte-for-byte intact.
+//
 //	go run ./examples/distributed
 package main
 
@@ -360,5 +366,92 @@ func run() error {
 	fmt.Printf("  training: %.0f fits, %.0f EM iterations\n",
 		snap.Counter("drdp_core_fits_total"),
 		snap.Counter("drdp_core_em_iterations_total"))
+
+	// Phase 5: the replicated shard tier. Three shards, each a leader
+	// plus a follower streaming its log; uploads route by fingerprint;
+	// the client merges the shard priors into one DP prior. Then the
+	// fault: kill a leader mid-round and watch the tier recover.
+	fmt.Println("\nphase 5: replicated shard tier — 3 shards × 2 replicas, leader killed mid-round")
+	tier, err := drdp.StartCluster(drdp.ClusterConfig{
+		Shards:       3,
+		Replicas:     2,
+		Build:        drdp.PriorBuildOptions{Alpha: 1, Seed: 5},
+		SyncReplicas: 1, // leader acks only after the follower holds the task
+		Seed:         17,
+		Logger:       drdp.DiscardLogger(),
+	})
+	if err != nil {
+		return err
+	}
+	defer tier.Close()
+	sharded := drdp.DialSharded(tier.CoordinatorAddr(), drdp.ResilientOptions{
+		Seed: 18, Logger: drdp.DiscardLogger(),
+	})
+	defer sharded.Close()
+
+	uploadBatch := func(n int) error {
+		for i := 0; i < n; i++ {
+			t := family.SampleTask(rng, i%2)
+			t.Flip = 0.05
+			tr := t.Sample(rng, 300)
+			params, err := drdp.Ridge{Model: m, Lambda: 1e-3}.Train(tr.X, tr.Y)
+			if err != nil {
+				return err
+			}
+			cov, err := drdp.LaplacePosterior(m, params, tr.X, tr.Y, 1e-3)
+			if err != nil {
+				return err
+			}
+			if _, err := sharded.ReportTask(drdp.TaskPosterior{Mu: params, Sigma: cov, N: tr.Len()}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := uploadBatch(6); err != nil {
+		return fmt.Errorf("shard tier round 1: %w", err)
+	}
+	tier.Quiesce(10 * time.Second)
+	merged, err := sharded.FetchMergedPrior(m.NumParams())
+	if err != nil {
+		return err
+	}
+	mapBefore, err := sharded.Map()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  round 1: 6 tasks across 3 shards, merged prior %d components (map v%d)\n",
+		len(merged.Components), mapBefore.Version)
+
+	oldLeader := tier.Coordinator().Map().Shards[0].Leader
+	killed, err := tier.KillLeader(0)
+	if err != nil {
+		return err
+	}
+	if !tier.WaitFailover(0, oldLeader, 10*time.Second) {
+		return fmt.Errorf("shard 0 never failed over")
+	}
+	fmt.Printf("  fault: killed leader %s; coordinator promoted the follower (map v%d)\n",
+		killed, tier.Coordinator().Map().Version)
+
+	if err := uploadBatch(4); err != nil {
+		return fmt.Errorf("shard tier round 2: %w", err)
+	}
+	tier.Quiesce(10 * time.Second)
+	merged, err = sharded.FetchMergedPrior(m.NumParams())
+	if err != nil {
+		return err
+	}
+	total := 0
+	for s := 0; s < 3; s++ {
+		total += tier.LeaderOf(s).Server().Store().Len()
+	}
+	fmt.Printf("  round 2: uploads kept flowing through the failover — %d tasks held, merged prior %d components\n",
+		total, len(merged.Components))
+	tierSnap := drdp.TelemetrySnapshot()
+	fmt.Printf("  replication: %.0f pulls, %.0f frames shipped; %.0f promotion(s)\n",
+		tierSnap.Counter("drdp_repl_pulls_total"),
+		tierSnap.Counter("drdp_repl_frames_total"),
+		tierSnap.Counter("drdp_cluster_promotions_total"))
 	return nil
 }

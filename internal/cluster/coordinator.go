@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+const (
+	// DefaultProbeInterval paces leader liveness probes.
+	DefaultProbeInterval = 50 * time.Millisecond
+	// DefaultFailThreshold is how many consecutive failed probes declare
+	// a leader dead.
+	DefaultFailThreshold = 3
+	// DefaultProbeTimeout bounds one probe round trip.
+	DefaultProbeTimeout = 500 * time.Millisecond
+)
+
+// Coordinator owns the shard map: it serves GetShardMap to edges
+// (conditionally, like the prior), probes every shard leader, and on
+// leader loss promotes the follower with the longest acked log —
+// highest durable store version, ties broken by the lowest replica
+// index, so every coordinator decision is deterministic given the same
+// observations. Each promotion bumps the map version; edges discover it
+// through their next conditional fetch or a CodeNotLeader redirect.
+type Coordinator struct {
+	probeInterval time.Duration
+	failThreshold int
+	probeTimeout  time.Duration
+	logger        *slog.Logger
+
+	mu       sync.Mutex
+	m        edge.ShardMap
+	nodes    [][]*Node // [shard][replica]; nil entries are dead nodes
+	failures []int
+	addr     string
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	ln     net.Listener
+	closed bool
+}
+
+// NewCoordinator builds a coordinator over the given replica sets
+// (nodes[shard][replica]; replica 0 must be the current leader). Probe
+// cadence parameters at zero take the defaults.
+func NewCoordinator(nodes [][]*Node, probeInterval time.Duration, failThreshold int, logger *slog.Logger) (*Coordinator, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one shard")
+	}
+	if probeInterval <= 0 {
+		probeInterval = DefaultProbeInterval
+	}
+	if failThreshold <= 0 {
+		failThreshold = DefaultFailThreshold
+	}
+	co := &Coordinator{
+		probeInterval: probeInterval,
+		failThreshold: failThreshold,
+		probeTimeout:  DefaultProbeTimeout,
+		logger:        telemetry.OrDefault(logger),
+		nodes:         nodes,
+		failures:      make([]int, len(nodes)),
+		stopCh:        make(chan struct{}),
+	}
+	m := edge.ShardMap{Version: 1}
+	for i, reps := range nodes {
+		if len(reps) == 0 || reps[0] == nil {
+			return nil, fmt.Errorf("cluster: shard %d has no leader", i)
+		}
+		sr := edge.ShardReplicas{Leader: reps[0].Addr()}
+		for _, f := range reps[1:] {
+			if f != nil {
+				sr.Followers = append(sr.Followers, f.Addr())
+			}
+		}
+		m.Shards = append(m.Shards, sr)
+	}
+	co.m = m
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	co.ln = ln
+	co.addr = ln.Addr().String()
+	co.wg.Add(2)
+	go co.serve(ln)
+	go co.probeLoop()
+	return co, nil
+}
+
+// Addr is the coordinator's shard-map endpoint.
+func (co *Coordinator) Addr() string { return co.addr }
+
+// Map returns a copy of the current shard map.
+func (co *Coordinator) Map() edge.ShardMap {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	m := co.m
+	m.Shards = append([]edge.ShardReplicas(nil), co.m.Shards...)
+	return m
+}
+
+// serve answers GetShardMap over the edge protocol's gob framing. The
+// endpoint is deliberately tiny: one request kind, conditional on
+// KnownVersion, everything else rejected.
+func (co *Coordinator) serve(ln net.Listener) {
+	defer co.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req edge.Request
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				telemetry.ServerReqCounter(req.Kind.String()).Inc()
+				var resp edge.Response
+				if req.Kind != edge.GetShardMap {
+					resp = edge.Response{Err: "coordinator serves get-shard-map only", Code: edge.CodeBadRequest}
+				} else {
+					m := co.Map()
+					if req.KnownVersion != 0 && req.KnownVersion == m.Version {
+						resp = edge.Response{Version: m.Version, NotModified: true}
+					} else {
+						resp = edge.Response{Map: &m, Version: m.Version}
+					}
+				}
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// probeLoop watches every shard leader and triggers failover after
+// failThreshold consecutive missed probes.
+func (co *Coordinator) probeLoop() {
+	defer co.wg.Done()
+	for {
+		select {
+		case <-co.stopCh:
+			return
+		case <-time.After(co.probeInterval):
+		}
+		co.mu.Lock()
+		leaders := make([]string, len(co.m.Shards))
+		for i, s := range co.m.Shards {
+			leaders[i] = s.Leader
+		}
+		co.mu.Unlock()
+		for shard, addr := range leaders {
+			if co.probe(addr) {
+				co.mu.Lock()
+				co.failures[shard] = 0
+				co.mu.Unlock()
+				continue
+			}
+			co.mu.Lock()
+			co.failures[shard]++
+			trip := co.failures[shard] >= co.failThreshold
+			co.mu.Unlock()
+			if trip {
+				co.failover(shard)
+			}
+		}
+	}
+}
+
+// probe round-trips one GetStats against a leader. A live listener that
+// answers anything classifiable counts as alive; only transport-level
+// failure (refused, reset, timeout) counts against the leader.
+func (co *Coordinator) probe(addr string) bool {
+	c, err := edge.Dial(addr, co.probeTimeout)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	c.SetRoundTripTimeout(co.probeTimeout)
+	_, err = c.Stats()
+	var se *edge.ServerError
+	return err == nil || errors.As(err, &se)
+}
+
+// failover promotes the best surviving follower of a shard: the one
+// with the longest durable log (highest store version), ties broken by
+// the lowest replica index. The dead leader is dropped from the replica
+// set, remaining followers are repointed at the new leader, and the map
+// version bump redirects edges.
+func (co *Coordinator) failover(shard int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		return
+	}
+	reps := co.nodes[shard]
+	deadAddr := co.m.Shards[shard].Leader
+	best := -1
+	var bestVer uint64
+	for i, n := range reps {
+		if n == nil || n.Addr() == deadAddr {
+			continue
+		}
+		v := n.Server().Store().Version()
+		if best == -1 || v > bestVer {
+			best, bestVer = i, v
+		}
+		// Equal versions keep the earlier (lowest-index) replica: the scan
+		// order is ascending and > is strict.
+	}
+	if best == -1 {
+		co.logger.Error("cluster: shard has no surviving replica to promote", "shard", shard)
+		co.failures[shard] = 0
+		return
+	}
+	promoted := reps[best]
+	// Drop the dead leader from the tracked set.
+	for i, n := range reps {
+		if n != nil && n.Addr() == deadAddr {
+			reps[i] = nil
+		}
+	}
+	surviving := 0
+	for _, n := range reps {
+		if n != nil && n != promoted {
+			surviving++
+		}
+	}
+	promoted.Promote(surviving)
+	sr := edge.ShardReplicas{Leader: promoted.Addr()}
+	for _, n := range reps {
+		if n != nil && n != promoted {
+			sr.Followers = append(sr.Followers, n.Addr())
+			n.Follow(promoted.Addr())
+		}
+	}
+	co.m.Shards[shard] = sr
+	co.m.Version++
+	co.failures[shard] = 0
+	telemetry.ClusterPromotions.Inc()
+	co.logger.Warn("cluster: leader failover",
+		"shard", shard, "dead", deadAddr, "promoted", promoted.Name(),
+		"log-version", bestVer, "map-version", co.m.Version)
+}
+
+// Close stops probing and the map endpoint. The nodes are not closed —
+// the cluster harness owns them.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	co.mu.Unlock()
+	close(co.stopCh)
+	err := co.ln.Close()
+	co.wg.Wait()
+	return err
+}

@@ -1,0 +1,35 @@
+package dpprior
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a stable 64-bit identity for the task posterior's
+// content (mean, covariance and sample count). The sharded cloud tier
+// uses it twice: to route an upload to its shard (the same task always
+// lands on the same shard, whichever edge or retry delivers it) and to
+// deduplicate ambiguous re-uploads — a report whose ack was lost to a
+// leader crash can be resent safely, because a fingerprint the shard has
+// already appended is acknowledged without a second append.
+func (t *TaskPosterior) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(bits uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	write(uint64(len(t.Mu)))
+	for _, v := range t.Mu {
+		write(math.Float64bits(v))
+	}
+	if t.Sigma != nil {
+		for _, v := range t.Sigma.Data {
+			write(math.Float64bits(v))
+		}
+	}
+	write(uint64(t.N))
+	return h.Sum64()
+}

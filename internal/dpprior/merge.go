@@ -1,0 +1,95 @@
+package dpprior
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cross-shard prior merging: when the task log is split across N shards,
+// each shard builds a DP prior over its own task subset and an edge (or
+// an aggregator) folds the per-shard component sets back into one prior.
+//
+// The merge is exact under the CRP predictive view the builder uses: a
+// component summarizing m_k tasks carries weight m_k/(α+K) in a prior
+// built from K tasks, so components from different shards recombine by
+// rescaling every count against the total task population —
+// w_k = m_k/(α+ΣK_s), base mass α/(α+ΣK_s) — which is precisely the
+// weight each cluster would have had in a single-shard build that found
+// the same partition. Component shapes (Mu, Sigma) are aliased, not
+// copied, and shard order is preserved, so the merge is deterministic:
+// byte-identical shard priors always merge to a byte-identical result.
+
+// ErrNoShardPriors reports a merge with no populated shard priors (every
+// shard cold). Test with errors.Is.
+var ErrNoShardPriors = errors.New("dpprior: no shard priors to merge")
+
+// MergePriors folds per-shard DP priors into one prior over the union of
+// the shards' task sets. Nil entries (cold shards) are skipped; at least
+// one populated prior is required. All populated priors must agree on
+// Dim and Alpha. Truncation mass a shard already folded into its base
+// weight stays in the merged base weight.
+func MergePriors(shards []*Prior) (*Prior, error) {
+	var live []*Prior
+	for _, p := range shards {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrNoShardPriors
+	}
+	first := live[0]
+	var totalCount float64
+	var comps []Component
+	var baseSigmaSum float64
+	for i, p := range live {
+		if p.Dim != first.Dim {
+			return nil, fmt.Errorf("dpprior: merge: shard %d dim %d, want %d", i, p.Dim, first.Dim)
+		}
+		if p.Alpha != first.Alpha {
+			return nil, fmt.Errorf("dpprior: merge: shard %d alpha %g, want %g", i, p.Alpha, first.Alpha)
+		}
+		var shardCount float64
+		for _, c := range p.Components {
+			shardCount += c.Count
+		}
+		totalCount += shardCount
+		baseSigmaSum += p.BaseSigma * (shardCount + 1)
+		comps = append(comps, p.Components...)
+	}
+	if totalCount <= 0 {
+		return nil, ErrNoShardPriors
+	}
+	alpha := first.Alpha
+	denom := alpha + totalCount
+	merged := make([]Component, len(comps))
+	var compMass float64
+	for i, c := range comps {
+		merged[i] = Component{
+			Weight: c.Count / denom,
+			Mu:     c.Mu,
+			Sigma:  c.Sigma,
+			Count:  c.Count,
+		}
+		compMass += merged[i].Weight
+	}
+	// Base mass closes the sum: the CRP new-cluster share α/(α+N) plus
+	// whatever mass shard-side truncation had already folded into shard
+	// base measures (those counts are absent from compMass). Closing
+	// against compMass keeps Validate's Σ=1 check exact after rescaling.
+	base := 1 - compMass
+	if base <= 0 {
+		return nil, fmt.Errorf("dpprior: merge: component mass %g leaves no base measure", compMass)
+	}
+	p := &Prior{
+		Alpha:      alpha,
+		Components: merged,
+		BaseWeight: base,
+		BaseSigma:  baseSigmaSum / (totalCount + float64(len(live))),
+		Dim:        first.Dim,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dpprior: merge: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,154 @@
+package dpprior
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/mat"
+)
+
+// mergeTasks synthesizes a deterministic task set around a few centers.
+func mergeTasks(t *testing.T, seed int64, n, dim int) []TaskPosterior {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TaskPosterior, 0, n)
+	for i := 0; i < n; i++ {
+		mu := make(mat.Vec, dim)
+		center := float64(i%3) * 4
+		for j := range mu {
+			mu[j] = center + 0.1*rng.NormFloat64()
+		}
+		sigma := mat.Eye(dim)
+		sigma.ScaleBy(0.05)
+		out = append(out, TaskPosterior{Mu: mu, Sigma: sigma, N: 50 + i})
+	}
+	return out
+}
+
+func buildShard(t *testing.T, tasks []TaskPosterior, seed int64) *Prior {
+	t.Helper()
+	p, err := Build(tasks, BuildOptions{Alpha: 1, Seed: seed})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func mergeGobBytes(t *testing.T, p *Prior) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatalf("encode prior: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergePriorsSingleShardIdentity(t *testing.T) {
+	p := buildShard(t, mergeTasks(t, 1, 6, 4), 7)
+	m, err := MergePriors([]*Prior{p})
+	if err != nil {
+		t.Fatalf("MergePriors: %v", err)
+	}
+	// A single-shard merge reproduces the prior: identical component
+	// shapes and weights (the same CRP division), base mass and scale
+	// equal up to the closing-sum rounding.
+	if len(m.Components) != len(p.Components) {
+		t.Fatalf("components %d, want %d", len(m.Components), len(p.Components))
+	}
+	for i := range p.Components {
+		if m.Components[i].Weight != p.Components[i].Weight {
+			t.Fatalf("component %d weight %g, want %g", i, m.Components[i].Weight, p.Components[i].Weight)
+		}
+		if &m.Components[i].Mu[0] != &p.Components[i].Mu[0] {
+			t.Fatalf("component %d mean copied instead of aliased", i)
+		}
+	}
+	if math.Abs(m.BaseWeight-p.BaseWeight) > 1e-12 {
+		t.Fatalf("base weight %g, want %g", m.BaseWeight, p.BaseWeight)
+	}
+	if math.Abs(m.BaseSigma-p.BaseSigma) > 1e-12*p.BaseSigma {
+		t.Fatalf("base sigma %g, want %g", m.BaseSigma, p.BaseSigma)
+	}
+}
+
+func TestMergePriorsDeterministicAndValid(t *testing.T) {
+	a := buildShard(t, mergeTasks(t, 2, 5, 4), 11)
+	b := buildShard(t, mergeTasks(t, 3, 7, 4), 13)
+	c := buildShard(t, mergeTasks(t, 4, 4, 4), 17)
+
+	m1, err := MergePriors([]*Prior{a, b, c})
+	if err != nil {
+		t.Fatalf("MergePriors: %v", err)
+	}
+	m2, err := MergePriors([]*Prior{a, b, c})
+	if err != nil {
+		t.Fatalf("MergePriors (again): %v", err)
+	}
+	if !bytes.Equal(mergeGobBytes(t, m1), mergeGobBytes(t, m2)) {
+		t.Fatalf("merge of identical shard priors is not byte-identical")
+	}
+	if err := m1.Validate(); err != nil {
+		t.Fatalf("merged prior invalid: %v", err)
+	}
+	if want := len(a.Components) + len(b.Components) + len(c.Components); len(m1.Components) != want {
+		t.Fatalf("merged components %d, want %d", len(m1.Components), want)
+	}
+	// Shapes are aliased, not copied: shard order is preserved.
+	if &m1.Components[0].Mu[0] != &a.Components[0].Mu[0] {
+		t.Fatalf("merge copied component means instead of aliasing")
+	}
+	// Nil (cold) shards are skipped without perturbing the result.
+	m3, err := MergePriors([]*Prior{nil, a, nil, b, c, nil})
+	if err != nil {
+		t.Fatalf("MergePriors with nils: %v", err)
+	}
+	if !bytes.Equal(mergeGobBytes(t, m1), mergeGobBytes(t, m3)) {
+		t.Fatalf("nil shards perturbed the merge")
+	}
+}
+
+func TestMergePriorsErrors(t *testing.T) {
+	if _, err := MergePriors(nil); !errors.Is(err, ErrNoShardPriors) {
+		t.Fatalf("empty merge: got %v, want ErrNoShardPriors", err)
+	}
+	if _, err := MergePriors([]*Prior{nil, nil}); !errors.Is(err, ErrNoShardPriors) {
+		t.Fatalf("all-nil merge: got %v, want ErrNoShardPriors", err)
+	}
+	a := buildShard(t, mergeTasks(t, 5, 5, 4), 19)
+	b := buildShard(t, mergeTasks(t, 6, 5, 3), 23)
+	if _, err := MergePriors([]*Prior{a, b}); err == nil {
+		t.Fatalf("dim mismatch accepted")
+	}
+	c := buildShard(t, mergeTasks(t, 7, 5, 4), 29)
+	c.Alpha = 2
+	if _, err := MergePriors([]*Prior{a, c}); err == nil {
+		t.Fatalf("alpha mismatch accepted")
+	}
+}
+
+func TestTaskFingerprintStable(t *testing.T) {
+	tasks := mergeTasks(t, 8, 4, 4)
+	fp := tasks[0].Fingerprint()
+	if fp != tasks[0].Fingerprint() {
+		t.Fatalf("fingerprint not stable")
+	}
+	seen := map[uint64]bool{}
+	for i := range tasks {
+		seen[tasks[i].Fingerprint()] = true
+	}
+	if len(seen) != len(tasks) {
+		t.Fatalf("fingerprint collision across %d distinct tasks", len(tasks))
+	}
+	clone := TaskPosterior{Mu: append(mat.Vec{}, tasks[0].Mu...), Sigma: tasks[0].Sigma, N: tasks[0].N}
+	if clone.Fingerprint() != fp {
+		t.Fatalf("identical content, different fingerprint")
+	}
+	clone.N++
+	if clone.Fingerprint() == fp {
+		t.Fatalf("changed content, same fingerprint")
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"fmt"
 
 	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/store"
 )
 
 // RequestKind enumerates protocol operations.
@@ -70,6 +71,16 @@ const (
 	// otherwise it falls back to the full prior. NotModified when the
 	// client is already current.
 	GetPriorDelta
+	// PullLog is the replication stream: a follower asks its leader for
+	// the log frames after AfterSeq (the follower's durable version, which
+	// doubles as its fsync-gated acknowledgement) plus the current verdict
+	// sidecar. The leader records the ack before answering, so semi-sync
+	// appends can wait on it.
+	PullLog
+	// GetShardMap asks the coordinator for the current shard map.
+	// KnownVersion makes it conditional, like GetPrior: an unchanged map
+	// costs a handshake, not a payload.
+	GetShardMap
 )
 
 // String names the request kind.
@@ -83,6 +94,10 @@ func (k RequestKind) String() string {
 		return "get-stats"
 	case GetPriorDelta:
 		return "get-prior-delta"
+	case PullLog:
+		return "pull-log"
+	case GetShardMap:
+		return "get-shard-map"
 	default:
 		return fmt.Sprintf("RequestKind(%d)", int(k))
 	}
@@ -103,6 +118,22 @@ type Request struct {
 	KnownVersion uint64
 	// Task carries the uploaded posterior for ReportTask.
 	Task *dpprior.TaskPosterior
+	// MinVersion is the read-your-writes floor for GetPrior/GetPriorDelta
+	// against a replica: the highest prior version this edge has already
+	// applied. A replica whose built prior is older answers CodeLagging
+	// instead of serving a prior the edge would have to roll back to.
+	// Zero disables the gate.
+	MinVersion uint64
+	// FollowerID identifies the pulling replica on PullLog, so the leader
+	// can track per-follower acknowledgements for semi-sync appends.
+	FollowerID int
+	// AfterSeq, for PullLog, is the follower's durable store version: the
+	// leader streams frames strictly above it. Because the follower only
+	// advances its version after an fsync, AfterSeq is also its
+	// acknowledgement of everything at or below.
+	AfterSeq uint64
+	// MaxFrames caps one PullLog batch (0 = server default).
+	MaxFrames int
 }
 
 // RespCode classifies server-side failures so clients can tell a
@@ -128,6 +159,15 @@ const (
 	// succeed once load drains, so ResilientClient backs off and retries
 	// instead of failing.
 	CodeOverloaded
+	// CodeNotLeader means a write (ReportTask) or replication pull reached
+	// a follower replica. Not retryable against the same node: the cluster
+	// client re-resolves the shard map and redirects to the leader.
+	CodeNotLeader
+	// CodeLagging means this replica's built prior is older than the
+	// Request.MinVersion floor the edge already holds. Not retryable
+	// against the same node; the cluster client falls through to the
+	// shard leader (or keeps its cached prior).
+	CodeLagging
 )
 
 // Response is the server→client message. Err is non-empty on failure
@@ -146,6 +186,17 @@ type Response struct {
 	// NotModified reports that the client's KnownVersion is current and
 	// no prior payload was shipped.
 	NotModified bool
+	// Frames is the PullLog payload: verbatim log frames after AfterSeq.
+	Frames []store.Frame
+	// VerdictMap, on PullLog, replicates the leader's admission verdict
+	// sidecar (seq → quarantined) so a promoted follower keeps every
+	// quarantine decision.
+	VerdictMap map[uint64]bool
+	// UpTo, on PullLog, is the leader's store version at answer time; the
+	// follower's lag is UpTo minus its own version.
+	UpTo uint64
+	// Map is the GetShardMap payload.
+	Map *ShardMap
 }
 
 // Stats are cloud-side counters.

@@ -1,0 +1,204 @@
+package edge
+
+import (
+	"errors"
+	"time"
+
+	"github.com/drdp/drdp/internal/store"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// Replica roles on CloudServer. A leader is the ordinary server: clients
+// write to it, followers pull its log. A follower serves reads
+// (GetPrior/GetPriorDelta/GetStats) from its replicated store — building
+// priors locally with the same seeded builder, so its priors are
+// byte-identical to the leader's at the same version — and refuses
+// writes with CodeNotLeader. Promotion is just SetFollower(false): the
+// store is already caught up to everything it acked, and the rebuild
+// worker is already running.
+
+// SetFollower flips the replica role (safe on a live server). Demotion
+// to follower does not interrupt in-flight writes; promotion to leader
+// takes effect on the next request.
+func (s *CloudServer) SetFollower(follower bool) { s.follower.Store(follower) }
+
+// IsFollower reports whether this replica currently refuses writes.
+func (s *CloudServer) IsFollower() bool { return s.follower.Load() }
+
+// EnableDedupe turns on fingerprint-based upload deduplication: a
+// ReportTask whose posterior content the store already holds is
+// acknowledged (with the current version) without a second append. This
+// is what makes ambiguous retries after a leader crash safe — the edge
+// resends, the new leader recognizes the fingerprint, and the recovered
+// task set stays identical to an unfailed run's. The existing store is
+// scanned so recovery and replication both seed the set.
+func (s *CloudServer) EnableDedupe() {
+	tasks, seqs, _ := s.st.ViewRecords()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fps == nil {
+		s.fps = make(map[uint64]uint64, len(tasks))
+	}
+	for i := range tasks {
+		s.fps[tasks[i].Fingerprint()] = seqs[i]
+	}
+}
+
+// errNotLeader backs the CodeNotLeader response.
+var errNotLeader = errors.New("edge: not the shard leader")
+
+// ApplyReplicated applies a PullLog answer to a follower's store:
+// frames are appended verbatim (fsynced as one batch) and the leader's
+// verdict sidecar is folded in, then a rebuild is kicked so the
+// follower's served prior catches up. Returns the follower's new durable
+// version — the AfterSeq of its next pull, i.e. its acknowledgement.
+func (s *CloudServer) ApplyReplicated(frames []store.Frame, verdicts map[uint64]bool) (uint64, error) {
+	v, err := s.st.ApplyFrames(frames)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.st.ApplyVerdicts(verdicts); err != nil {
+		return 0, err
+	}
+	if len(frames) > 0 {
+		s.mu.Lock()
+		if s.fps != nil {
+			tasks, seqs, _ := s.st.ViewRecords()
+			for i := len(tasks) - len(frames); i < len(tasks); i++ {
+				if i >= 0 {
+					s.fps[tasks[i].Fingerprint()] = seqs[i]
+				}
+			}
+		}
+		s.mu.Unlock()
+		telemetry.ServerTasks.Set(float64(s.st.Len()))
+		telemetry.ServerPriorVersion.Set(float64(v))
+		s.kickRebuild()
+	}
+	return v, nil
+}
+
+// recordAck notes a follower's durable version. Monotonic per follower:
+// a late or reordered pull can never regress an acknowledgement.
+func (s *CloudServer) recordAck(followerID int, seq uint64) {
+	s.ackMu.Lock()
+	if seq > s.acks[followerID] {
+		s.acks[followerID] = seq
+		close(s.ackCh)
+		s.ackCh = make(chan struct{})
+	}
+	s.ackMu.Unlock()
+}
+
+// FollowerAcks returns a copy of the per-follower durable versions the
+// leader has observed (the coordinator's promotion input).
+func (s *CloudServer) FollowerAcks() map[int]uint64 {
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	out := make(map[int]uint64, len(s.acks))
+	for id, seq := range s.acks {
+		out[id] = seq
+	}
+	return out
+}
+
+// SetSemiSync configures semi-synchronous appends (safe on a live
+// server): replicas is how many follower acknowledgements an AddTask
+// waits for (0 = async), timeout bounds the wait (0 = DefaultAckTimeout).
+// On expiry the append is acked anyway, counted in
+// drdp_repl_ack_timeouts_total and logged — availability wins, visibly.
+func (s *CloudServer) SetSemiSync(replicas int, timeout time.Duration) {
+	s.syncReplicas.Store(int64(replicas))
+	s.ackTimeoutNs.Store(int64(timeout))
+}
+
+// waitAcked blocks until the configured number of followers have durably
+// applied version v, the ack timeout expires, or the server closes.
+func (s *CloudServer) waitAcked(v uint64) {
+	need := int(s.syncReplicas.Load())
+	timeout := time.Duration(s.ackTimeoutNs.Load())
+	if timeout <= 0 {
+		timeout = DefaultAckTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		s.ackMu.Lock()
+		n := 0
+		for _, seq := range s.acks {
+			if seq >= v {
+				n++
+			}
+		}
+		ch := s.ackCh
+		s.ackMu.Unlock()
+		if n >= need {
+			return
+		}
+		select {
+		case <-ch:
+		case <-s.stopCh:
+			return
+		case <-timer.C:
+			telemetry.ReplAckTimeouts.Inc()
+			s.logger.Warn("edge: follower ack timeout; acknowledging under-replicated append",
+				"version", v, "acked", n, "need", need)
+			return
+		}
+	}
+}
+
+// LogBatch is one PullLog answer on the client side.
+type LogBatch struct {
+	Frames   []store.Frame
+	Verdicts map[uint64]bool
+	// UpTo is the leader's store version at answer time; lag is UpTo
+	// minus the follower's own version after applying Frames.
+	UpTo uint64
+}
+
+// PullLog requests the leader's log frames after afterSeq (the
+// follower's durable version, doubling as its acknowledgement) plus the
+// verdict sidecar. maxFrames caps the batch (0 = server default).
+func (c *Client) PullLog(followerID int, afterSeq uint64, maxFrames int) (*LogBatch, error) {
+	resp, err := c.roundTrip(&Request{Kind: PullLog, FollowerID: followerID, AfterSeq: afterSeq, MaxFrames: maxFrames})
+	if err != nil {
+		return nil, err
+	}
+	return &LogBatch{Frames: resp.Frames, Verdicts: resp.VerdictMap, UpTo: resp.UpTo}, nil
+}
+
+// PullLog is the resilient replication pull: transport faults retry
+// under the client's backoff/breaker policy, and re-sending is safe
+// because afterSeq makes the request idempotent. See Client.PullLog.
+func (r *ResilientClient) PullLog(followerID int, afterSeq uint64, maxFrames int) (*LogBatch, error) {
+	resp, err := r.do(&Request{Kind: PullLog, FollowerID: followerID, AfterSeq: afterSeq, MaxFrames: maxFrames})
+	if err != nil {
+		return nil, err
+	}
+	return &LogBatch{Frames: resp.Frames, Verdicts: resp.VerdictMap, UpTo: resp.UpTo}, nil
+}
+
+// servePullLog answers one replication pull: the follower's AfterSeq is
+// recorded as its acknowledgement first (so semi-sync writers waiting on
+// it unblock even when no new frames exist), then frames after it are
+// shipped together with the verdict sidecar.
+func (s *CloudServer) servePullLog(req *Request) *Response {
+	if s.IsFollower() {
+		telemetry.ServerNotLeader.Inc()
+		return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
+	}
+	if req.FollowerID > 0 {
+		s.recordAck(req.FollowerID, req.AfterSeq)
+	}
+	frames, upTo, err := s.st.FramesSince(req.AfterSeq, req.MaxFrames)
+	if err != nil {
+		return &Response{Err: err.Error(), Code: CodeInternal}
+	}
+	telemetry.ReplPulls.Inc()
+	telemetry.ReplFrames.Add(float64(len(frames)))
+	for _, fr := range frames {
+		telemetry.ReplBytes.Add(float64(len(fr.Bytes)))
+	}
+	return &Response{Frames: frames, VerdictMap: s.st.Verdicts(), UpTo: upTo, Version: upTo}
+}

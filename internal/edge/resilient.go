@@ -282,6 +282,39 @@ func (r *ResilientClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
 	return resp.Version, nil
 }
 
+// FetchPriorDeltaMin is FetchPriorDelta with a read-your-writes floor:
+// minVersion names the highest prior version the edge has already
+// applied, and a replica whose built prior trails it answers CodeLagging
+// (surfaced as a *ServerError) instead of a stale prior. The cluster
+// client falls through to the shard leader on that answer.
+func (r *ResilientClient) FetchPriorDeltaMin(dim int, knownVersion, minVersion uint64, old *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	resp, err := r.do(&Request{Kind: GetPriorDelta, Dim: dim, KnownVersion: knownVersion, MinVersion: minVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return deltaPriorOf(resp, old)
+}
+
+// FetchShardMap fetches the coordinator's shard map, conditionally:
+// when the map version still equals knownVersion the answer is
+// (nil, version, nil) and no payload crosses the wire.
+func (r *ResilientClient) FetchShardMap(knownVersion uint64) (*ShardMap, uint64, error) {
+	resp, err := r.do(&Request{Kind: GetShardMap, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.NotModified {
+		return nil, resp.Version, nil
+	}
+	if resp.Map == nil {
+		return nil, 0, errors.New("edge: server returned empty shard map")
+	}
+	if err := resp.Map.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return resp.Map, resp.Version, nil
+}
+
 // Stats fetches cloud-side counters, retrying transport faults.
 func (r *ResilientClient) Stats() (Stats, error) {
 	resp, err := r.do(&Request{Kind: GetStats})

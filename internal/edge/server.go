@@ -34,6 +34,10 @@ const (
 	// request and write the CodeOverloaded answer, short enough that a
 	// flood cannot pin goroutines.
 	shedDeadline = 2 * time.Second
+	// DefaultAckTimeout bounds a semi-synchronous AddTask's wait for
+	// follower acknowledgements before it acks anyway (availability over
+	// strict durability — the timeout is counted and logged).
+	DefaultAckTimeout = 2 * time.Second
 )
 
 // CloudServer accumulates task posteriors in a durable store and serves
@@ -72,10 +76,29 @@ type CloudServer struct {
 	// background (an accepted task is never dropped) and the client gets
 	// CodeOverloaded.
 	HandlerTimeout time.Duration
+	// syncReplicas > 0 makes AddTask semi-synchronous: the append is
+	// acknowledged only once that many followers have durably applied it
+	// (their PullLog AfterSeq covers the new version), or ackTimeout
+	// expires. Set through SetSemiSync (safe on a live server — failover
+	// shrinks the quorum when replicas die).
+	syncReplicas atomic.Int64
+	ackTimeoutNs atomic.Int64
 
 	// mu serializes task validation + append (the store itself is safe,
 	// but dimension checks must be atomic with the append they guard).
-	mu sync.Mutex
+	// It also guards fps, the upload-dedupe fingerprint set.
+	mu  sync.Mutex
+	fps map[uint64]uint64 // fingerprint → seq; nil = dedupe off
+
+	// follower marks this replica read-only for clients: writes answer
+	// CodeNotLeader, the store advances only through ApplyReplicated.
+	follower atomic.Bool
+
+	// ackMu guards per-follower acknowledgements; ackCh is closed and
+	// replaced whenever an ack advances, releasing semi-sync waiters.
+	ackMu sync.Mutex
+	acks  map[int]uint64
+	ackCh chan struct{}
 
 	// priorMu guards the served prior, its version and the history ring.
 	priorMu   sync.Mutex
@@ -161,6 +184,8 @@ func NewCloudServerWithStore(st *store.Store, seed []dpprior.TaskPosterior, opts
 		history:       make(map[uint64]*dpprior.Prior, deltaHistory),
 		rebuildCh:     make(chan struct{}, 1),
 		stopCh:        make(chan struct{}),
+		acks:          make(map[int]uint64),
+		ackCh:         make(chan struct{}),
 	}
 	s.builtCond = sync.NewCond(&s.priorMu)
 	s.rebuildTimeoutNs.Store(int64(DefaultRebuildTimeout))
@@ -237,9 +262,20 @@ func (s *CloudServer) appendTask(t dpprior.TaskPosterior) (uint64, error) {
 		s.rejected.Add(1)
 		return 0, fmt.Errorf("edge: AddTask: %w", err)
 	}
+	if s.fps != nil {
+		if _, seen := s.fps[t.Fingerprint()]; seen {
+			// An ambiguous retry: the content is already durable, so ack
+			// with the current version instead of appending a duplicate.
+			telemetry.ServerDeduped.Inc()
+			return s.st.Version(), nil
+		}
+	}
 	v, err := s.st.Append(t)
 	if err != nil {
 		return 0, fmt.Errorf("edge: AddTask: %w", err)
+	}
+	if s.fps != nil {
+		s.fps[t.Fingerprint()] = v
 	}
 	telemetry.ServerTasks.Set(float64(s.st.Len()))
 	telemetry.ServerPriorVersion.Set(float64(v))
@@ -255,6 +291,9 @@ func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
 		return 0, err
 	}
 	s.kickRebuild()
+	if s.syncReplicas.Load() > 0 && !s.IsFollower() {
+		s.waitAcked(v)
+	}
 	return v, nil
 }
 
@@ -840,6 +879,17 @@ func (s *CloudServer) servedPrior(req *Request) (*dpprior.Prior, uint64, *Respon
 			Code: CodeBadRequest,
 		}
 	}
+	if req.MinVersion != 0 && version < req.MinVersion {
+		// Read-your-writes gate: this replica's built prior trails one the
+		// edge has already applied. Serving it would roll the edge back,
+		// so refuse and let the client fall through to a fresher replica.
+		telemetry.ServerLagging.Inc()
+		return nil, 0, &Response{
+			Err:     fmt.Sprintf("replica prior version %d trails required %d", version, req.MinVersion),
+			Code:    CodeLagging,
+			Version: version,
+		}
+	}
 	return p, version, nil
 }
 
@@ -883,11 +933,17 @@ func (s *CloudServer) dispatch(req *Request) *Response {
 		if req.Task == nil {
 			return &Response{Err: "report-task: missing task", Code: CodeBadRequest}
 		}
+		if s.IsFollower() {
+			telemetry.ServerNotLeader.Inc()
+			return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
+		}
 		version, err := s.AddTask(*req.Task)
 		if err != nil {
 			return &Response{Err: err.Error(), Code: CodeBadRequest}
 		}
 		return &Response{Version: version}
+	case PullLog:
+		return s.servePullLog(req)
 	case GetStats:
 		return &Response{Stats: s.Stats()}
 	default:

@@ -1,0 +1,78 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ShardMap is the cluster topology an edge needs to route requests: one
+// replica set per shard, with the leader named explicitly. The
+// coordinator serves it over GetShardMap with the same conditional-fetch
+// discipline as the prior (KnownVersion → NotModified), and bumps
+// Version on every change — a promotion after leader loss reaches edges
+// as a version bump, so redirect handling is just "refetch the map when
+// a node answers CodeNotLeader or stops answering".
+type ShardMap struct {
+	// Version increases on every topology change (promotion, membership).
+	Version uint64
+	// Shards lists the replica sets; routing is by index.
+	Shards []ShardReplicas
+}
+
+// ShardReplicas is one shard's replica set.
+type ShardReplicas struct {
+	// Leader is the address that accepts writes (ReportTask) and serves
+	// the replication stream.
+	Leader string
+	// Followers are the read replicas pulling the leader's log.
+	Followers []string
+}
+
+// Validate checks structural sanity: at least one shard, every shard led.
+func (m *ShardMap) Validate() error {
+	if len(m.Shards) == 0 {
+		return errors.New("edge: shard map has no shards")
+	}
+	for i, s := range m.Shards {
+		if s.Leader == "" {
+			return fmt.Errorf("edge: shard %d has no leader", i)
+		}
+	}
+	return nil
+}
+
+// ShardOf routes a task fingerprint to a shard by rendezvous
+// (highest-random-weight) hashing: each shard scores the key through a
+// mix keyed by its index, and the highest score wins. Every client with
+// the same map computes the same owner, no coordination; and unlike
+// fp % N, changing the shard count only moves the keys that must move.
+func (m *ShardMap) ShardOf(fingerprint uint64) int {
+	best, bestScore := 0, uint64(0)
+	for i := range m.Shards {
+		score := mix64(fingerprint ^ mix64(uint64(i)+0x9e3779b97f4a7c15))
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Replicas returns the shard's full replica set, leader first — the
+// fall-through order for version-gated reads.
+func (s *ShardReplicas) Replicas() []string {
+	out := make([]string, 0, 1+len(s.Followers))
+	out = append(out, s.Leader)
+	out = append(out, s.Followers...)
+	return out
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mix for rendezvous scoring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/drdp/drdp/internal/sim"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// Table15ShardedCluster measures the replicated shard tier: round
+// throughput and failover recovery on the REAL tier (in-process nodes
+// with live listeners, log streaming, and coordinator probes), at 1 and
+// 3 shards, with the fault injector off and on. Every kill run is
+// checked against its same-seed control run for byte-identical merged
+// priors — the tier's recovery acceptance criterion — and the "prior"
+// column reports the verdict.
+func Table15ShardedCluster(cfg RunConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := &Table{
+		Title: "Table 15: replicated shard tier — throughput and mid-round failover recovery (2 replicas/shard)",
+		Columns: []string{"shards", "failover", "rounds/s", "failover ms",
+			"recovery ms", "tasks", "prior"},
+	}
+	rounds, perRound := 6, 4
+	if cfg.Fast {
+		rounds, perRound = 4, 3
+	}
+	for _, shards := range []int{1, 3} {
+		// Same-seed control priors for the byte-identity check.
+		control := make(map[int64][]byte, cfg.Reps)
+		for _, kill := range []bool{false, true} {
+			var rps, failover, recovery []float64
+			tasks := 0
+			identical := true
+			for _, seed := range Seeds(cfg.Seed, cfg.Reps) {
+				ccfg := sim.ClusterConfig{
+					Shards:        shards,
+					Replicas:      2,
+					Rounds:        rounds,
+					TasksPerRound: perRound,
+					Dim:           6,
+					KillShard:     -1,
+					Seed:          seed,
+					Logger:        telemetry.Discard(),
+				}
+				if kill {
+					ccfg.KillShard = 0
+					ccfg.KillRound = rounds / 2
+				}
+				res, err := sim.RunCluster(ccfg)
+				if err != nil {
+					return nil, fmt.Errorf("table15: shards=%d kill=%v seed=%d: %w", shards, kill, seed, err)
+				}
+				rps = append(rps, res.RoundsPerSec)
+				tasks = res.Tasks
+				if kill {
+					failover = append(failover, float64(res.FailoverTime.Milliseconds()))
+					recovery = append(recovery, float64(res.RecoveryTime.Milliseconds()))
+					if !bytes.Equal(res.PriorBytes, control[seed]) {
+						identical = false
+					}
+				} else {
+					control[seed] = res.PriorBytes
+				}
+			}
+			verdict := "baseline"
+			if kill {
+				verdict = "byte-identical"
+				if !identical {
+					verdict = "DIVERGED"
+				}
+			}
+			onOff := map[bool]string{false: "off", true: "on"}[kill]
+			fo, rec := "-", "-"
+			if kill {
+				fo = fmt.Sprintf("%.0f", Aggregate(failover).Mean)
+				rec = fmt.Sprintf("%.0f", Aggregate(recovery).Mean)
+			}
+			tab.AddRow(fmt.Sprintf("%d", shards), onOff,
+				fmt.Sprintf("%.1f", Aggregate(rps).Mean),
+				fo, rec, fmt.Sprintf("%d", tasks), verdict)
+		}
+	}
+	return tab, nil
+}

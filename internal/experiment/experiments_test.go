@@ -265,3 +265,34 @@ func TestTable14Smoke(t *testing.T) {
 		}
 	}
 }
+
+// TestTable15Smoke runs the sharded-cluster experiment in fast mode and
+// checks its acceptance criterion: every kill run recovers a prior
+// byte-identical to its same-seed control.
+func TestTable15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table15ShardedCluster(RunConfig{Reps: 1, Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 2 shard counts × failover off/on
+		t.Fatalf("table15 rows %d, want 4", len(tab.Rows))
+	}
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		off, on := tab.Rows[i], tab.Rows[i+1]
+		if off[0] != on[0] || off[1] != "off" || on[1] != "on" {
+			t.Fatalf("unexpected row layout: %v / %v", off, on)
+		}
+		if v := off[len(off)-1]; v != "baseline" {
+			t.Errorf("control row at %s shards: prior verdict %q, want baseline", off[0], v)
+		}
+		if v := on[len(on)-1]; v != "byte-identical" {
+			t.Errorf("kill run at %s shards: prior verdict %q, want byte-identical", on[0], v)
+		}
+		if on[3] == "-" || on[4] == "-" {
+			t.Errorf("kill run at %s shards: missing failover/recovery timings: %v", on[0], on)
+		}
+	}
+}

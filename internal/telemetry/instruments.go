@@ -123,7 +123,27 @@ var (
 	// --- fleet simulator: poisoned-edge scenario ----------------------
 	SimRejected    = Default.Counter("drdp_sim_rejected_uploads_total")
 	SimQuarantined = Default.Counter("drdp_sim_quarantined_total")
+
+	// --- shard replication & failover ---------------------------------
+	ServerReqPullLog     = Default.Counter("drdp_edge_server_requests_total", L("kind", "pull-log"))
+	ServerReqGetShardMap = Default.Counter("drdp_edge_server_requests_total", L("kind", "get-shard-map"))
+	ServerNotLeader      = Default.Counter("drdp_edge_server_not_leader_total")
+	ServerLagging        = Default.Counter("drdp_edge_server_lagging_total")
+	ServerDeduped        = Default.Counter("drdp_edge_server_deduped_uploads_total")
+	ReplPulls            = Default.Counter("drdp_repl_pulls_total")
+	ReplFrames           = Default.Counter("drdp_repl_frames_total")
+	ReplBytes            = Default.Counter("drdp_repl_bytes_total")
+	ReplAckTimeouts      = Default.Counter("drdp_repl_ack_timeouts_total")
+	ClusterPromotions    = Default.Counter("drdp_cluster_promotions_total")
+	ClusterRedirects     = Default.Counter("drdp_cluster_redirects_total")
 )
+
+// ReplLagGauge is the per-follower replication lag in sequence numbers
+// (leader version minus the follower's durable version), labeled by node
+// so one scrape shows the whole replica set.
+func ReplLagGauge(node string) *Gauge {
+	return Default.Gauge("drdp_repl_lag_seq", L("node", node))
+}
 
 // ServerReqCounter maps a protocol request-kind name (RequestKind
 // .String()) to its counter; unknown kinds land in the "other" series.
@@ -135,6 +155,10 @@ func ServerReqCounter(kind string) *Counter {
 		return ServerReqReportTask
 	case "get-stats":
 		return ServerReqGetStats
+	case "pull-log":
+		return ServerReqPullLog
+	case "get-shard-map":
+		return ServerReqGetShardMap
 	default:
 		return ServerReqOther
 	}
@@ -269,6 +293,16 @@ func init() {
 		"drdp_store_invalid_records_total":         "CRC-valid but semantically invalid tasks dropped during recovery.",
 		"drdp_sim_rejected_uploads_total":          "Simulated task uploads rejected by admission validation.",
 		"drdp_sim_quarantined_total":               "Simulated tasks quarantined by the admission judge.",
+		"drdp_edge_server_not_leader_total":        "Write requests refused because this replica is a follower.",
+		"drdp_edge_server_lagging_total":           "Prior fetches refused because the replica trails the client's floor version.",
+		"drdp_edge_server_deduped_uploads_total":   "Task uploads acknowledged without a second append (fingerprint already stored).",
+		"drdp_repl_lag_seq":                        "Replication lag in sequence numbers, by follower node.",
+		"drdp_repl_pulls_total":                    "Log-pull round trips completed by followers.",
+		"drdp_repl_frames_total":                   "Log frames shipped leader to follower.",
+		"drdp_repl_bytes_total":                    "Log bytes shipped leader to follower.",
+		"drdp_repl_ack_timeouts_total":             "Semi-sync appends acknowledged after the follower-ack timeout expired.",
+		"drdp_cluster_promotions_total":            "Follower promotions after a leader loss.",
+		"drdp_cluster_redirects_total":             "Edge requests redirected by a shard-map version bump.",
 	} {
 		Default.SetHelp(name, help)
 	}
