@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json chaos
+.PHONY: all build vet test race check bench bench-json chaos trace-smoke
 
 all: check
 
@@ -24,11 +24,26 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Failover/partition chaos: the replicated-tier tests (leader kill
-# mid-round, torn-tail restart, semi-sync acks, verdict replication)
-# repeated under the race detector.
+# mid-round, torn-tail restart, semi-sync acks, verdict replication,
+# trace continuity across a mid-round leader kill) repeated under the
+# race detector.
 chaos:
-	$(GO) test -race -count=2 -run 'Cluster|Repl|Follower|SemiSync|Dedupe|MinVersion|PullLog' \
-		./internal/cluster/ ./internal/sim/ ./internal/edge/
+	$(GO) test -race -count=2 -run 'Cluster|Repl|Follower|SemiSync|Dedupe|MinVersion|PullLog|Trace' \
+		./internal/cluster/ ./internal/sim/ ./internal/edge/ ./internal/trace/
+
+# Tracing smoke: run the cluster scenario with a mid-round leader kill
+# and full sampling, dump the flight recorder, and check that the
+# pinned failover trace plus round trees came out (CI uploads the JSON
+# as an artifact).
+TRACE_OUT ?= trace-out
+trace-smoke:
+	mkdir -p $(TRACE_OUT)
+	$(GO) run ./cmd/drdp-sim -cluster -shards 2 -replicas 2 -rounds 4 \
+		-kill-shard 0 -kill-round 2 -trace-out $(TRACE_OUT)/traces.json
+	$(GO) run ./cmd/drdp-trace -file $(TRACE_OUT)/traces.json -notable | grep 'failover.*pinned'
+	$(GO) run ./cmd/drdp-trace -file $(TRACE_OUT)/traces.json -trace "$$( \
+		$(GO) run ./cmd/drdp-trace -file $(TRACE_OUT)/traces.json -notable \
+		| awk '/failover/{print $$1}')"
 
 # Machine-readable evaluation: BENCH_<id>.json per experiment (fast
 # workload; drop -fast for the full one).

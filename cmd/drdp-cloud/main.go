@@ -54,6 +54,7 @@ import (
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 func main() {
@@ -75,8 +76,11 @@ func run() error {
 		dataDir   = flag.String("data-dir", "", "durable task store directory (empty = in-memory, lost on exit)")
 		snapEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "compact the task log into a snapshot after this many appends (negative = never)")
 		noSync    = flag.Bool("no-sync", false, "skip fsync after appends (faster, loses acknowledged tasks on power failure)")
-		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /healthz, /debug/vars, /debug/pprof); empty disables")
+		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /tracez, /healthz, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "only log warnings and errors")
+
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for locally rooted traces; joined traces are always recorded (0 = off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "root duration past which a trace is pinned notable (0 = default 250ms, negative = never)")
 
 		maxConns       = flag.Int("max-conns", 0, "max concurrently served connections; over the cap clients get a retryable overloaded answer (0 = unlimited)")
 		handlerTimeout = flag.Duration("handler-timeout", 0, "per-request dispatch deadline; exceeded requests answer overloaded (0 = none)")
@@ -99,6 +103,14 @@ func run() error {
 	}
 	logger := telemetry.NewLogger(level).With("component", "drdp-cloud")
 
+	if *traceSample > 0 || *traceSlow != 0 {
+		trace.Default.SetSampleRate(*traceSample)
+		if *traceSlow != 0 {
+			trace.Default.SetSlowThreshold(*traceSlow)
+		}
+		logger.Info("tracing enabled", "sample_rate", *traceSample, "slow", *traceSlow)
+	}
+
 	if *telAddr != "" {
 		telSrv, bound, err := telemetry.Serve(*telAddr, nil)
 		if err != nil {
@@ -106,7 +118,7 @@ func run() error {
 		}
 		defer telSrv.Close()
 		logger.Info("telemetry endpoint up", "addr", bound,
-			"endpoints", "/metrics /debug/vars /debug/pprof")
+			"endpoints", "/metrics /tracez /debug/vars /debug/pprof")
 	}
 
 	var seedPosteriors []dpprior.TaskPosterior
@@ -156,6 +168,15 @@ func run() error {
 	srv.MaxConns = *maxConns
 	srv.HandlerTimeout = *handlerTimeout
 	srv.SetRebuildTimeout(*rebuildTimeout)
+	// The span "node" attribute; cluster roles get a sharper name below.
+	nodeName := "cloud"
+	if *role != "" {
+		nodeName = *role
+		if *role == "follower" {
+			nodeName = fmt.Sprintf("follower-%d", *followerID)
+		}
+	}
+	srv.SetNodeName(nodeName)
 	if *quarantine {
 		srv.SetAdmission(edge.AdmissionConfig{Quarantine: true, TrimFrac: *trimFrac})
 		logger.Info("admission quarantine enabled", "trim_frac", *trimFrac)

@@ -34,6 +34,7 @@ import (
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 func main() {
@@ -64,10 +65,16 @@ func run() error {
 		breakerN  = flag.Int("breaker-threshold", edge.DefaultBreakerConfig.Threshold, "consecutive failures that trip the circuit breaker (0 disables)")
 		cachePath = flag.String("cache", "", "prior cache file: fall back to the last good prior when the cloud is unreachable")
 		fallback  = flag.Bool("fallback-local", false, "train prior-free when the cloud is unreachable and the cache is cold")
-		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
+		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /tracez, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "silence transport warnings")
+
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for device-round traces; sampled rounds propagate trace context to the cloud (0 = off)")
 	)
 	flag.Parse()
+
+	if *traceSample > 0 {
+		trace.Default.SetSampleRate(*traceSample)
+	}
 
 	if *telAddr != "" {
 		telSrv, bound, err := telemetry.Serve(*telAddr, nil)

@@ -14,13 +14,20 @@
 //
 //	drdp-sim -cluster -shards 3 -replicas 2
 //	drdp-sim -cluster -shards 3 -replicas 2 -kill-shard 0 -kill-round 3
+//
+// Adding -trace-audit samples every trace during a cluster run and
+// prints each round's merged span tree (edge spans plus every node's
+// serve spans) afterwards; -trace-out FILE also writes the raw
+// flight-recorder snapshot as JSON (readable with drdp-trace).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -31,6 +38,7 @@ import (
 	"github.com/drdp/drdp/internal/sim"
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 func main() {
@@ -66,11 +74,14 @@ func run() error {
 		perRound    = flag.Int("tasks-per-round", 4, "cluster: uploads per round")
 		killShard   = flag.Int("kill-shard", -1, "cluster: kill this shard's leader mid-round (-1 = no fault)")
 		killRound   = flag.Int("kill-round", 2, "cluster: round before which the kill fires")
+		traceAudit  = flag.Bool("trace-audit", false, "cluster: sample every trace and print per-round span trees after the run")
+		traceOut    = flag.String("trace-out", "", "cluster: write the flight-recorder snapshot as JSON to this file (implies -trace-audit)")
 	)
 	flag.Parse()
 
 	if *clusterMode {
-		return runCluster(*shards, *replicas, *rounds, *perRound, *dim, *killShard, *killRound, *seed)
+		return runCluster(*shards, *replicas, *rounds, *perRound, *dim, *killShard, *killRound, *seed,
+			*traceAudit || *traceOut != "", *traceOut)
 	}
 
 	var link edge.LinkProfile
@@ -174,8 +185,10 @@ func printSimTelemetry(snap telemetry.Values) {
 }
 
 // runCluster drives the replicated-shard-tier scenario and prints its
-// throughput, failover timings, and recovery verdict.
-func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound int, seed int64) error {
+// throughput, failover timings, and recovery verdict. With audit on, it
+// also prints every round's merged span tree (plus any pinned failover
+// trace) and optionally writes the raw snapshot as JSON.
+func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound int, seed int64, audit bool, traceOut string) error {
 	res, err := sim.RunCluster(sim.ClusterConfig{
 		Shards:        shards,
 		Replicas:      replicas,
@@ -184,6 +197,7 @@ func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound in
 		Dim:           dim,
 		KillShard:     killShard,
 		KillRound:     killRound,
+		Audit:         audit,
 		Seed:          seed,
 		Logger:        telemetry.NewLogger(slog.LevelInfo).With("component", "drdp-sim"),
 	})
@@ -199,5 +213,47 @@ func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound in
 	}
 	fmt.Printf("final: shard-map v%d, per-shard versions %v, merged prior %d components (%d bytes)\n",
 		res.MapVersion, res.FinalVersions, res.MergedComponents, len(res.PriorBytes))
+	if res.Traces != nil {
+		printRoundAudit(res.Traces)
+		if traceOut != "" {
+			data, err := json.MarshalIndent(res.Traces, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+				return fmt.Errorf("write trace snapshot: %w", err)
+			}
+			fmt.Printf("trace snapshot: %d recent + %d notable traces written to %s\n",
+				len(res.Traces.Recent), len(res.Traces.Notable), traceOut)
+		}
+	}
 	return nil
+}
+
+// printRoundAudit merges each trace's fragments (the edge client's spans
+// plus every node's joined serve spans) and prints the round trees in
+// start order, then any non-round notable traces (failovers, errors).
+func printRoundAudit(snap *trace.Snapshot) {
+	byTrace := make(map[string][]*trace.TraceDump)
+	var ids []string
+	for _, td := range append(append([]*trace.TraceDump(nil), snap.Recent...), snap.Notable...) {
+		if _, ok := byTrace[td.Trace]; !ok {
+			ids = append(ids, td.Trace)
+		}
+		byTrace[td.Trace] = append(byTrace[td.Trace], td)
+	}
+	merged := make([]*trace.TraceDump, 0, len(ids))
+	for _, id := range ids {
+		merged = append(merged, trace.MergeDumps(byTrace[id]))
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Start.Before(merged[j].Start) })
+	fmt.Println("\nround audit:")
+	for _, td := range merged {
+		if td.Name == "cluster-round" || td.Notable {
+			fmt.Println(td.Tree())
+		}
+	}
+	st := snap.Stats
+	fmt.Printf("flight recorder: %d traces completed (%d notable), %d spans dropped\n",
+		st.Completed, st.Notable, st.SpansDropped)
 }

@@ -1,0 +1,205 @@
+// Command drdp-trace reads a drdp flight recorder — either live from a
+// process's telemetry endpoint (/tracez) or from a snapshot file written
+// by drdp-sim -trace-out — and prints traces as merged cross-node span
+// trees.
+//
+// Usage:
+//
+//	drdp-trace -addr 127.0.0.1:9090                 # summary table
+//	drdp-trace -addr 127.0.0.1:9090 -notable        # only error/slow/pinned traces
+//	drdp-trace -addr 127.0.0.1:9090 -trace 3410f648 # one trace's full tree (id prefix ok)
+//	drdp-trace -addr 127.0.0.1:9090 -trees          # every retained trace as a tree
+//	drdp-trace -addr 127.0.0.1:9090 -follow         # tail: print traces as they complete
+//	drdp-trace -file traces.json -trees             # read a drdp-sim -trace-out snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/drdp/drdp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drdp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// snapshot mirrors the /tracez?format=json document (the exemplar list
+// is decoded loosely; this command only renders traces).
+type snapshot struct {
+	Recent  []*trace.TraceDump `json:"recent"`
+	Notable []*trace.TraceDump `json:"notable"`
+	Stats   trace.Stats        `json:"stats"`
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "", "telemetry endpoint (host:port) to fetch /tracez from")
+		file     = flag.String("file", "", "snapshot file (drdp-sim -trace-out) instead of a live endpoint")
+		traceID  = flag.String("trace", "", "print one trace's merged span tree (hex id; unique prefix accepted)")
+		notable  = flag.Bool("notable", false, "restrict to notable traces (error/slow/pinned)")
+		trees    = flag.Bool("trees", false, "print every selected trace as a span tree instead of the summary table")
+		follow   = flag.Bool("follow", false, "poll the endpoint and print traces as they complete")
+		interval = flag.Duration("interval", time.Second, "poll interval with -follow")
+	)
+	flag.Parse()
+	if (*addr == "") == (*file == "") {
+		return fmt.Errorf("exactly one of -addr or -file is required")
+	}
+	if *follow && *file != "" {
+		return fmt.Errorf("-follow needs a live endpoint (-addr)")
+	}
+
+	if *follow {
+		return followLoop(*addr, *interval, *notable)
+	}
+	snap, err := load(*addr, *file)
+	if err != nil {
+		return err
+	}
+	merged := mergeAll(snap)
+	if *traceID != "" {
+		return printOne(merged, *traceID)
+	}
+	if *notable {
+		var keep []*trace.TraceDump
+		for _, td := range merged {
+			if td.Notable {
+				keep = append(keep, td)
+			}
+		}
+		merged = keep
+	}
+	if *trees {
+		for _, td := range merged {
+			fmt.Println(td.Tree())
+		}
+	} else {
+		printTable(merged)
+	}
+	st := snap.Stats
+	fmt.Printf("recorder: %d completed (%d notable), %d joined, %d spans dropped\n",
+		st.Completed, st.Notable, st.Joined, st.SpansDropped)
+	return nil
+}
+
+func load(addr, file string) (*snapshot, error) {
+	var raw []byte
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	} else {
+		resp, err := http.Get("http://" + addr + "/tracez?format=json")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET /tracez: %s", resp.Status)
+		}
+		raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("read /tracez: %w", err)
+		}
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// mergeAll groups every retained fragment by trace ID, merges each group
+// into one cross-node dump, and orders by start time.
+func mergeAll(snap *snapshot) []*trace.TraceDump {
+	byTrace := make(map[string][]*trace.TraceDump)
+	var ids []string
+	for _, td := range append(append([]*trace.TraceDump(nil), snap.Recent...), snap.Notable...) {
+		if _, ok := byTrace[td.Trace]; !ok {
+			ids = append(ids, td.Trace)
+		}
+		byTrace[td.Trace] = append(byTrace[td.Trace], td)
+	}
+	out := make([]*trace.TraceDump, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, trace.MergeDumps(byTrace[id]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+func printOne(merged []*trace.TraceDump, prefix string) error {
+	var hits []*trace.TraceDump
+	for _, td := range merged {
+		if strings.HasPrefix(td.Trace, strings.ToLower(prefix)) {
+			hits = append(hits, td)
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return fmt.Errorf("no retained trace matches %q", prefix)
+	case 1:
+		fmt.Println(hits[0].Tree())
+		return nil
+	default:
+		for _, td := range hits {
+			fmt.Println(td.Trace)
+		}
+		return fmt.Errorf("%d traces match %q; use a longer prefix", len(hits), prefix)
+	}
+}
+
+func printTable(merged []*trace.TraceDump) {
+	fmt.Printf("%-16s  %-24s  %12s  %6s  %s\n", "TRACE", "ROOT", "DURATION", "SPANS", "FLAGS")
+	for _, td := range merged {
+		var flags []string
+		if td.Err {
+			flags = append(flags, "ERROR")
+		}
+		if td.Pinned {
+			flags = append(flags, "pinned")
+		} else if td.Notable {
+			flags = append(flags, "slow")
+		}
+		fmt.Printf("%-16s  %-24s  %12s  %6d  %s\n",
+			td.Trace, td.Name, td.Dur.Round(time.Microsecond), len(td.Spans), strings.Join(flags, ","))
+	}
+}
+
+// followLoop polls /tracez and prints each trace once, when it first
+// appears fully (tail -f for the flight recorder). A trace's fragment
+// set can still grow (a server fragment completing after the client's),
+// so a trace is reprinted if its span count grows.
+func followLoop(addr string, interval time.Duration, notableOnly bool) error {
+	seen := make(map[string]int) // trace id -> span count already printed
+	for {
+		snap, err := load(addr, "")
+		if err != nil {
+			return err
+		}
+		for _, td := range mergeAll(snap) {
+			if notableOnly && !td.Notable {
+				continue
+			}
+			if seen[td.Trace] >= len(td.Spans) {
+				continue
+			}
+			seen[td.Trace] = len(td.Spans)
+			fmt.Println(td.Tree())
+		}
+		time.Sleep(interval)
+	}
+}

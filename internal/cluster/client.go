@@ -9,6 +9,7 @@ import (
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // ShardedClient is an edge's view of the replicated shard tier: it
@@ -34,6 +35,40 @@ type ShardedClient struct {
 	conns   map[string]*edge.ResilientClient
 	applied []uint64         // per shard: highest built version applied
 	priors  []*dpprior.Prior // per shard: cached prior at applied[i]
+
+	parent *trace.Span // round span set by the caller (nil = untraced)
+	op     *trace.Span // current operation span, nested under parent
+}
+
+// SetTraceParent attaches subsequent operations to sp as child spans
+// (nil detaches). The device sets its round span here, so every upload,
+// shard fetch, redirect, and underlying RPC lands in the round's trace.
+func (c *ShardedClient) SetTraceParent(sp *trace.Span) { c.parent = sp }
+
+// noopEnd keeps untraced beginOp calls allocation-free.
+var noopEnd = func(error) {}
+
+// beginOp opens an operation span under the current op — so a ShardPrior
+// issued by FetchMergedPrior nests under its "merged-fetch" span — or
+// under the round parent, and points the coordinator connection at it.
+// The returned func ends the span and restores the previous op.
+func (c *ShardedClient) beginOp(name string) func(error) {
+	anchor := c.op
+	if anchor == nil {
+		anchor = c.parent
+	}
+	if anchor == nil {
+		return noopEnd
+	}
+	sp := anchor.Child(name)
+	prev := c.op
+	c.op = sp
+	c.coord.SetTraceParent(sp)
+	return func(err error) {
+		sp.EndErr(err)
+		c.op = prev
+		c.coord.SetTraceParent(prev)
+	}
 }
 
 // DialSharded connects a sharded client to the coordinator at coordAddr.
@@ -69,6 +104,9 @@ func (c *ShardedClient) refreshMap(force bool) error {
 	}
 	if c.m != nil && version != c.m.Version {
 		telemetry.ClusterRedirects.Inc()
+		if c.op != nil {
+			c.op.Event("redirect", trace.Int("map-version", int64(version)))
+		}
 	}
 	c.m = m
 	if len(c.applied) != len(m.Shards) {
@@ -78,13 +116,15 @@ func (c *ShardedClient) refreshMap(force bool) error {
 	return nil
 }
 
-// conn returns (dialing lazily) the resilient connection to addr.
+// conn returns (dialing lazily) the resilient connection to addr,
+// pointed at the current operation span so its calls trace correctly.
 func (c *ShardedClient) conn(addr string) *edge.ResilientClient {
-	if rc, ok := c.conns[addr]; ok {
-		return rc
+	rc, ok := c.conns[addr]
+	if !ok {
+		rc = edge.DialResilient(addr, c.ropts)
+		c.conns[addr] = rc
 	}
-	rc := edge.DialResilient(addr, c.ropts)
-	c.conns[addr] = rc
+	rc.SetTraceParent(c.op)
 	return rc
 }
 
@@ -101,10 +141,20 @@ func (c *ShardedClient) Map() (*edge.ShardMap, error) {
 // The shard is chosen by content fingerprint, so retries and redirects
 // always land the task on the same shard.
 func (c *ShardedClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
+	end := c.beginOp("upload")
+	v, err := c.reportTask(t)
+	end(err)
+	return v, err
+}
+
+func (c *ShardedClient) reportTask(t dpprior.TaskPosterior) (uint64, error) {
 	if err := c.refreshMap(false); err != nil {
 		return 0, err
 	}
 	shard := c.m.ShardOf(t.Fingerprint())
+	if c.op != nil {
+		c.op.SetAttr(trace.Int("shard", int64(shard)))
+	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
@@ -137,6 +187,23 @@ func (c *ShardedClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
 // (read scaling) and the leader last, with the read-your-writes floor.
 // A NotModified answer returns the cached prior.
 func (c *ShardedClient) ShardPrior(shard, dim int) (*dpprior.Prior, uint64, error) {
+	end := c.beginOp("shard-prior")
+	if c.op != nil {
+		c.op.SetAttr(trace.Int("shard", int64(shard)))
+	}
+	p, v, err := c.shardPrior(shard, dim)
+	if errors.Is(err, edge.ErrNoPrior) {
+		// A cold shard is a normal early-round answer, not a failure;
+		// erroring the span would pin every warm-up trace as notable.
+		c.op.Event("cold")
+		end(nil)
+	} else {
+		end(err)
+	}
+	return p, v, err
+}
+
+func (c *ShardedClient) shardPrior(shard, dim int) (*dpprior.Prior, uint64, error) {
 	if err := c.refreshMap(false); err != nil {
 		return nil, 0, err
 	}
@@ -154,12 +221,18 @@ func (c *ShardedClient) ShardPrior(shard, dim int) (*dpprior.Prior, uint64, erro
 			var se *edge.ServerError
 			switch {
 			case errors.As(err, &se) && se.Code == edge.CodeLagging:
+				if c.op != nil {
+					c.op.Event("lagging", trace.Str("replica", addr))
+				}
 				continue // this replica trails us; try the next one
 			case errors.As(err, &se) && se.Code == edge.CodeNoTasks:
 				return nil, 0, err // cold shard: same answer everywhere
 			case errors.As(err, &se):
 				continue
 			default:
+				if c.op != nil {
+					c.op.Event("fall-through", trace.Str("replica", addr))
+				}
 				continue // transport failure: next replica
 			}
 		}
@@ -177,6 +250,17 @@ func (c *ShardedClient) ShardPrior(shard, dim int) (*dpprior.Prior, uint64, erro
 // fetched (cold shards contribute nothing) and the component sets are
 // merged into one DP prior. At least one shard must be warm.
 func (c *ShardedClient) FetchMergedPrior(dim int) (*dpprior.Prior, error) {
+	end := c.beginOp("merged-fetch")
+	p, err := c.fetchMergedPrior(dim)
+	if errors.Is(err, edge.ErrNoPrior) {
+		end(nil) // every shard cold: a warm-up answer, not a failure
+	} else {
+		end(err)
+	}
+	return p, err
+}
+
+func (c *ShardedClient) fetchMergedPrior(dim int) (*dpprior.Prior, error) {
 	if err := c.refreshMap(false); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 const (
@@ -130,6 +131,11 @@ func (co *Coordinator) serve(ln net.Listener) {
 					return
 				}
 				telemetry.ServerReqCounter(req.Kind.String()).Inc()
+				var sp *trace.Span
+				if req.TraceID != 0 {
+					sp = trace.Default.Join(req.TraceID, req.ParentSpan,
+						"serve "+req.Kind.String(), trace.Str("node", "coordinator"))
+				}
 				var resp edge.Response
 				if req.Kind != edge.GetShardMap {
 					resp = edge.Response{Err: "coordinator serves get-shard-map only", Code: edge.CodeBadRequest}
@@ -138,8 +144,14 @@ func (co *Coordinator) serve(ln net.Listener) {
 					if req.KnownVersion != 0 && req.KnownVersion == m.Version {
 						resp = edge.Response{Version: m.Version, NotModified: true}
 					} else {
+						sp.Event("map", trace.Int("version", int64(m.Version)))
 						resp = edge.Response{Map: &m, Version: m.Version}
 					}
+				}
+				if resp.Err != "" {
+					sp.EndErr(errors.New(resp.Err))
+				} else {
+					sp.End()
 				}
 				if err := enc.Encode(&resp); err != nil {
 					return
@@ -166,12 +178,17 @@ func (co *Coordinator) probeLoop() {
 		}
 		co.mu.Unlock()
 		for shard, addr := range leaders {
+			start := time.Now()
 			if co.probe(addr) {
 				co.mu.Lock()
 				co.failures[shard] = 0
 				co.mu.Unlock()
 				continue
 			}
+			// Only FAILED probes are retro-recorded: healthy probes at the
+			// probe cadence would flood the flight recorder's recent ring.
+			trace.Default.Record("probe", start, time.Since(start), errProbeFailed,
+				trace.Int("shard", int64(shard)), trace.Str("leader", addr))
 			co.mu.Lock()
 			co.failures[shard]++
 			trip := co.failures[shard] >= co.failThreshold
@@ -182,6 +199,9 @@ func (co *Coordinator) probeLoop() {
 		}
 	}
 }
+
+// errProbeFailed marks a failed liveness probe in the flight recorder.
+var errProbeFailed = errors.New("cluster: leader probe failed")
 
 // probe round-trips one GetStats against a leader. A live listener that
 // answers anything classifiable counts as alive; only transport-level
@@ -204,6 +224,12 @@ func (co *Coordinator) probe(addr string) bool {
 // set, remaining followers are repointed at the new leader, and the map
 // version bump redirects edges.
 func (co *Coordinator) failover(shard int) {
+	// The failover gets its own trace, pinned so a later burst of healthy
+	// round traces can never evict the one record of what was promoted
+	// and why. Subject to head sampling like every locally rooted trace.
+	sp := trace.Default.StartTrace("failover", trace.Int("shard", int64(shard)))
+	sp.Pin()
+	defer sp.End()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
@@ -211,6 +237,7 @@ func (co *Coordinator) failover(shard int) {
 	}
 	reps := co.nodes[shard]
 	deadAddr := co.m.Shards[shard].Leader
+	sp.SetAttr(trace.Str("dead", deadAddr))
 	best := -1
 	var bestVer uint64
 	for i, n := range reps {
@@ -225,6 +252,7 @@ func (co *Coordinator) failover(shard int) {
 		// order is ascending and > is strict.
 	}
 	if best == -1 {
+		sp.Event("no-survivor")
 		co.logger.Error("cluster: shard has no surviving replica to promote", "shard", shard)
 		co.failures[shard] = 0
 		return
@@ -243,15 +271,19 @@ func (co *Coordinator) failover(shard int) {
 		}
 	}
 	promoted.Promote(surviving)
+	sp.Event("promoted", trace.Str("node", promoted.Name()),
+		trace.Int("log-version", int64(bestVer)), trace.Int("followers", int64(surviving)))
 	sr := edge.ShardReplicas{Leader: promoted.Addr()}
 	for _, n := range reps {
 		if n != nil && n != promoted {
 			sr.Followers = append(sr.Followers, n.Addr())
 			n.Follow(promoted.Addr())
+			sp.Event("repoint", trace.Str("node", n.Name()))
 		}
 	}
 	co.m.Shards[shard] = sr
 	co.m.Version++
+	sp.SetAttr(trace.Int("map-version", int64(co.m.Version)))
 	co.failures[shard] = 0
 	telemetry.ClusterPromotions.Inc()
 	co.logger.Warn("cluster: leader failover",

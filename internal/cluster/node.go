@@ -36,6 +36,7 @@ import (
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 const (
@@ -124,6 +125,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	srv.SetAdmission(cfg.Admission)
 	srv.EnableDedupe()
 	n := &Node{cfg: cfg, srv: srv, logger: logger}
+	srv.SetNodeName(n.Name())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
@@ -295,16 +297,28 @@ func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, sto
 			return
 		default:
 		}
+		pullStart := time.Now()
 		batch, err := client.PullLog(o.FollowerID, srv.Store().Version(), 0)
 		if err != nil {
 			// Transport retries are exhausted or the leader refused (e.g. it
 			// was demoted); pause and try again — the coordinator will
-			// repoint us if the topology changed.
+			// repoint us if the topology changed. Failed pulls are
+			// retro-recorded (idle successful polls are not — at the pull
+			// cadence they would flood the flight recorder).
+			trace.Default.Record("repl-pull", pullStart, time.Since(pullStart), err,
+				trace.Str("node", srv.NodeName()), trace.Str("leader", leaderAddr))
 			select {
 			case <-time.After(interval):
 			case <-stop:
 			}
 			continue
+		}
+		if len(batch.Frames) > 0 {
+			// A pull that actually shipped frames is worth a trace; only
+			// after the fact do we know it was not an idle poll.
+			trace.Default.Record("repl-pull", pullStart, time.Since(pullStart), nil,
+				trace.Str("node", srv.NodeName()), trace.Str("leader", leaderAddr),
+				trace.Int("frames", int64(len(batch.Frames))), trace.Int("up-to", int64(batch.UpTo)))
 		}
 		v, err := srv.ApplyReplicated(batch.Frames, batch.Verdicts)
 		if err != nil {

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/trace"
+)
+
+// TestTraceFailoverContinuity is the chaos test for trace continuity: a
+// device round whose leader is killed mid-round must yield ONE trace
+// holding the edge's parent span, a successful serve span on the old
+// leader (pre-kill), the failed attempts against the dead leader, and a
+// successful serve span on the promoted leader — plus a pinned
+// "failover" trace in the flight recorder recording the promotion.
+func TestTraceFailoverContinuity(t *testing.T) {
+	prev := trace.Default.SampleRate()
+	trace.Default.SetSampleRate(1)
+	defer trace.Default.SetSampleRate(prev)
+
+	cl, err := Start(fastConfig(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sc := dialTest(cl.CoordinatorAddr())
+	defer sc.Close()
+
+	const dim = 4
+	tasks := makeTasks(77, 4, dim)
+	oldName := cl.LeaderOf(0).Name()
+	oldAddr := cl.Coordinator().Map().Shards[0].Leader
+
+	round := trace.Default.StartTrace("device-round", trace.Int("device", 1))
+	if round == nil {
+		t.Fatal("sampling is on but StartTrace returned nil")
+	}
+	sc.SetTraceParent(round)
+
+	// Pre-kill upload: a successful serve span on the old leader joins
+	// the round trace.
+	if _, err := sc.ReportTask(tasks[0]); err != nil {
+		t.Fatalf("pre-kill upload: %v", err)
+	}
+
+	if _, err := cl.KillLeader(0); err != nil {
+		t.Fatalf("kill leader: %v", err)
+	}
+
+	// Mid-round retries: keep the SAME round open until an upload lands
+	// on whichever follower gets promoted. The early attempts hit the
+	// dead leader and fail into the trace.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := sc.ReportTask(tasks[1]); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("upload never succeeded after the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sc.SetTraceParent(nil)
+	round.End()
+
+	if !cl.WaitFailover(0, oldAddr, 5*time.Second) {
+		t.Fatal("failover did not complete")
+	}
+	newName := cl.LeaderOf(0).Name()
+	if newName == oldName {
+		t.Fatalf("leader did not change: still %s", newName)
+	}
+
+	// Every fragment of the round — the edge's spans plus each server's
+	// joined serve spans — merges into one cross-node tree.
+	td := trace.MergeDumps(trace.Default.Find(round.TraceID()))
+	if td == nil {
+		t.Fatal("round trace not retained by the flight recorder")
+	}
+
+	if root := td.Root(); root == nil || root.Name != "device-round" {
+		t.Fatalf("trace root = %+v, want the edge's device-round span", td.Root())
+	}
+	sawOld, sawNew := false, false
+	for _, sd := range td.SpansNamed("serve report-task") {
+		switch sd.Attr("node") {
+		case oldName:
+			if sd.Err == "" {
+				sawOld = true
+			}
+		case newName:
+			if sd.Err == "" {
+				sawNew = true
+			}
+		}
+	}
+	if !sawOld {
+		t.Errorf("no successful serve span on old leader %s in trace:\n%s", oldName, td.Tree())
+	}
+	if !sawNew {
+		t.Errorf("no successful serve span on new leader %s in trace:\n%s", newName, td.Tree())
+	}
+
+	// The dead leader shows up as failure evidence inside the same trace:
+	// an errored client span or a retry/transport-fault/breaker event.
+	sawFailure := false
+	for i := range td.Spans {
+		sd := &td.Spans[i]
+		if sd.Err != "" {
+			sawFailure = true
+		}
+		if sd.HasEvent("retry") || sd.HasEvent("transport-fault") || sd.HasEvent("breaker-open") {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Errorf("no failed attempt recorded in the round trace:\n%s", td.Tree())
+	}
+
+	// The promotion itself is a pinned failover trace with a "promoted"
+	// event naming the new leader.
+	snap := trace.Default.Snapshot()
+	var failover *trace.TraceDump
+	for _, nd := range snap.Notable {
+		if nd.Name == "failover" && nd.Pinned {
+			failover = nd
+		}
+	}
+	if failover == nil {
+		t.Fatal("no pinned failover trace in the notable ring")
+	}
+	root := failover.Root()
+	if !root.HasEvent("promoted") {
+		t.Fatalf("failover trace lacks a promoted event:\n%s", failover.Tree())
+	}
+	for _, ev := range root.Events {
+		if ev.Name != "promoted" {
+			continue
+		}
+		for _, a := range ev.Attrs {
+			if a.Key == "node" && a.Value != newName {
+				t.Errorf("failover promoted %q, map says leader is %q", a.Value, newName)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // Client is an edge device's connection to the cloud prior server. It is
@@ -18,7 +19,13 @@ type Client struct {
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	timeout time.Duration // per-round-trip deadline; 0 = none
+	parent  *trace.Span   // trace parent for subsequent round trips
 }
+
+// SetTraceParent sets the span under which subsequent round trips record
+// themselves and whose context they propagate on the wire. A nil span
+// (or never calling this) keeps the client untraced at zero cost.
+func (c *Client) SetTraceParent(s *trace.Span) { c.parent = s }
 
 // SetRoundTripTimeout bounds each subsequent request/response exchange;
 // zero removes the bound. Protects device loops from a hung cloud.
@@ -43,6 +50,24 @@ func NewClient(conn net.Conn) *Client {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
+	// The nil-parent branch is the common untraced path; keeping span
+	// construction behind it means zero allocations when tracing is off.
+	if c.parent == nil {
+		return c.roundTripUntraced(req)
+	}
+	sp := c.parent.Child("rpc "+req.Kind.String(), trace.Str("peer", c.conn.RemoteAddr().String()))
+	req.TraceID, req.ParentSpan = sp.WireContext()
+	resp, err := c.roundTripUntraced(req)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	sp.SetAttr(trace.Int("version", int64(resp.Version)))
+	sp.End()
+	return resp, nil
+}
+
+func (c *Client) roundTripUntraced(req *Request) (*Response, error) {
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return nil, fmt.Errorf("edge: set deadline: %w", err)

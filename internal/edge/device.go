@@ -10,6 +10,7 @@ import (
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // Cloud is the client-side surface a Device drives the knowledge-transfer
@@ -217,14 +218,32 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 // prior level the round actually ran at. The returned error is non-nil
 // only when the round could not produce a model at all.
 func (d *Device) RunWithStatus(c Cloud, x *mat.Dense, y []float64, report bool) (*core.Result, RunStatus, error) {
+	// A head-sampled root span per round; the client's call/rpc spans and
+	// the server's joined fragments hang off it. When sampling is off (the
+	// default) round is nil and every traced call below is a no-op.
+	round := trace.Default.StartTrace("device-round", trace.Int("device", int64(d.ID)))
+	if round != nil {
+		if tc, ok := c.(interface{ SetTraceParent(*trace.Span) }); ok {
+			tc.SetTraceParent(round)
+			defer tc.SetTraceParent(nil)
+		}
+		defer func() { round.End() }()
+	}
 	prior, st, err := d.fetch(c)
 	if err != nil {
+		round.Event("fetch-failed", trace.Err(err))
 		return nil, st, err
 	}
+	if st.Degradation != DegradedNone {
+		round.Event("degraded", trace.Str("level", st.Degradation.String()))
+	}
+	ts := round.Child("train")
 	res, err := d.TrainWithPrior(prior, x, y)
 	if err != nil {
+		ts.EndErr(err)
 		return nil, st, err
 	}
+	ts.End()
 	if report {
 		cov, err := model.LaplacePosterior(d.Model, res.Params, x, y, 1e-3)
 		if err != nil {

@@ -29,6 +29,10 @@ func FuzzHandleRequest(f *testing.F) {
 		{Kind: ReportTask},
 		{Kind: GetStats},
 		{Kind: RequestKind(99)},
+		// Trace context on the wire: joined, hostile, and parent-only.
+		{Kind: GetPrior, Dim: 3, TraceID: 0xdeadbeef, ParentSpan: 0xfeedface},
+		{Kind: ReportTask, Task: &task, TraceID: ^uint64(0), ParentSpan: ^uint64(0)},
+		{Kind: GetStats, ParentSpan: 12345},
 	} {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&req); err != nil {

@@ -134,6 +134,13 @@ type Request struct {
 	AfterSeq uint64
 	// MaxFrames caps one PullLog batch (0 = server default).
 	MaxFrames int
+	// TraceID and ParentSpan propagate distributed-trace context
+	// (internal/trace). Zero means untraced — the server allocates no
+	// spans — and is what every pre-trace client sends, so old clients
+	// and new servers (and vice versa) stay gob-compatible: gob decoders
+	// ignore unknown fields and leave missing ones at their zero value.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // RespCode classifies server-side failures so clients can tell a

@@ -54,7 +54,7 @@ func TestUnknownRequestKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := srv.dispatch(&Request{Kind: RequestKind(42)})
+	resp := srv.dispatch(&Request{Kind: RequestKind(42)}, nil)
 	if resp.Err == "" {
 		t.Error("unknown request kind accepted")
 	}

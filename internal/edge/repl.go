@@ -6,6 +6,7 @@ import (
 
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // Replica roles on CloudServer. A leader is the ordinary server: clients
@@ -183,9 +184,10 @@ func (r *ResilientClient) PullLog(followerID int, afterSeq uint64, maxFrames int
 // recorded as its acknowledgement first (so semi-sync writers waiting on
 // it unblock even when no new frames exist), then frames after it are
 // shipped together with the verdict sidecar.
-func (s *CloudServer) servePullLog(req *Request) *Response {
+func (s *CloudServer) servePullLog(req *Request, sp *trace.Span) *Response {
 	if s.IsFollower() {
 		telemetry.ServerNotLeader.Inc()
+		sp.Event("not-leader")
 		return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
 	}
 	if req.FollowerID > 0 {
@@ -199,6 +201,9 @@ func (s *CloudServer) servePullLog(req *Request) *Response {
 	telemetry.ReplFrames.Add(float64(len(frames)))
 	for _, fr := range frames {
 		telemetry.ReplBytes.Add(float64(len(fr.Bytes)))
+	}
+	if len(frames) > 0 {
+		sp.Event("frames", trace.Int("count", int64(len(frames))), trace.Int("up-to", int64(upTo)))
 	}
 	return &Response{Frames: frames, VerdictMap: s.st.Verdicts(), UpTo: upTo, Version: upTo}
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // ResilientOptions configures a ResilientClient.
@@ -68,9 +69,16 @@ type ResilientClient struct {
 	// fake clock.
 	sleep func(time.Duration)
 
-	c     *Client // current session; nil when disconnected
-	stats TransportStats
+	c      *Client // current session; nil when disconnected
+	stats  TransportStats
+	parent *trace.Span // trace parent for subsequent calls
 }
+
+// SetTraceParent sets the span under which subsequent calls record their
+// retry/redial/breaker activity: each do() becomes a "call <kind>" child
+// span with "dial" and "rpc" grandchildren and retry/shed/fault events.
+// nil (the default) keeps the client untraced at zero cost.
+func (r *ResilientClient) SetTraceParent(s *trace.Span) { r.parent = s }
 
 // DialResilient returns a resilient client for the cloud at addr.
 // Dialing is lazy: no connection is made until the first round trip, so
@@ -144,52 +152,76 @@ func (r *ResilientClient) TransportStats() TransportStats {
 	return st
 }
 
-// connect ensures a live session, dialing if necessary.
-func (r *ResilientClient) connect() error {
+// connect ensures a live session, dialing if necessary, and points the
+// session at the current call span so its rpc spans nest correctly.
+func (r *ResilientClient) connect(call *trace.Span) error {
 	if r.c != nil {
+		r.c.SetTraceParent(call)
 		return nil
 	}
 	r.stats.Dials++
 	telemetry.EdgeClientDials.Inc()
+	sp := call.Child("dial")
 	conn, err := r.dial()
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
+	sp.SetAttr(trace.Str("peer", conn.RemoteAddr().String()))
+	sp.End()
 	c := NewClient(countConn{
 		Conn: conn,
 		sent: telemetry.EdgeClientSent,
 		recv: telemetry.EdgeClientReceived,
 	})
 	c.SetRoundTripTimeout(r.opts.RoundTripTimeout)
+	c.SetTraceParent(call)
 	r.c = c
 	return nil
 }
 
-// do runs one request through the retry/redial/breaker machinery.
+// do runs one request through the retry/redial/breaker machinery,
+// wrapped in a "call <kind>" span when a trace parent is set.
 func (r *ResilientClient) do(req *Request) (*Response, error) {
+	if r.parent == nil {
+		return r.doAttempts(req, nil)
+	}
+	call := r.parent.Child("call " + req.Kind.String())
+	resp, err := r.doAttempts(req, call)
+	call.EndErr(err)
+	return resp, err
+}
+
+func (r *ResilientClient) doAttempts(req *Request, call *trace.Span) (*Response, error) {
 	attempts := r.opts.Retry.attempts()
 	var lastErr error
+	lastCause := "transport"
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			r.stats.Retries++
 			telemetry.EdgeClientRetries.Inc()
 			delay := r.opts.Retry.Delay(attempt-1, r.rng)
 			telemetry.EdgeClientBackoff.Add(delay.Seconds())
+			if call != nil {
+				call.Event("retry", trace.Int("attempt", int64(attempt+1)), trace.Dur("backoff", delay))
+			}
 			r.sleep(delay)
 		}
 		if err := r.br.allow(); err != nil {
 			// Fail fast: the breaker is open, don't burn the retry budget
 			// (or the device's time) dialing a cloud that is down.
+			call.Event("breaker-open")
+			telemetry.EdgeClientExhaustedBreaker.Inc()
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
 			}
 			return nil, err
 		}
-		if err := r.connect(); err != nil {
+		if err := r.connect(call); err != nil {
 			r.stats.Failures++
 			telemetry.EdgeClientFailures.Inc()
 			r.br.onFailure()
-			lastErr = err
+			lastErr, lastCause = err, "dial"
 			r.logger.Warn("edge: resilient dial failed",
 				"attempt", attempt+1, "attempts", attempts, "err", err)
 			continue
@@ -197,7 +229,11 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		rtStart := time.Now()
 		resp, err := r.c.roundTrip(req)
 		if err == nil {
-			telemetry.EdgeClientRoundtrip.Observe(time.Since(rtStart).Seconds())
+			rt := time.Since(rtStart).Seconds()
+			telemetry.EdgeClientRoundtrip.Observe(rt)
+			if call != nil {
+				telemetry.RecordExemplar("drdp_edge_client_roundtrip_seconds", call.TraceID().String(), rt)
+			}
 			r.br.onSuccess()
 			return resp, nil
 		}
@@ -213,9 +249,10 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 				// after answering, so drop the session and redial after
 				// backoff.
 				telemetry.EdgeClientOverloaded.Inc()
+				call.Event("overloaded")
 				r.c.Close()
 				r.c = nil
-				lastErr = err
+				lastErr, lastCause = err, "overloaded"
 				r.logger.Warn("edge: server overloaded; backing off",
 					"kind", req.Kind.String(), "attempt", attempt+1, "attempts", attempts)
 				continue
@@ -226,15 +263,19 @@ func (r *ResilientClient) do(req *Request) (*Response, error) {
 		}
 		// Transport fault: the gob stream is now in an unknown state, so
 		// the session is unusable — drop it and redial on the next try.
+		call.Event("transport-fault", trace.Err(err))
 		r.c.Close()
 		r.c = nil
 		r.stats.Failures++
 		telemetry.EdgeClientFailures.Inc()
 		r.br.onFailure()
-		lastErr = err
+		lastErr, lastCause = err, "transport"
 		r.logger.Warn("edge: resilient round trip failed",
 			"kind", req.Kind.String(), "attempt", attempt+1, "attempts", attempts, "err", err)
 	}
+	// Count the FINAL attempt's cause, not the first: the last failure is
+	// what the operator must act on.
+	telemetry.EdgeClientExhaustedCounter(lastCause).Inc()
 	return nil, fmt.Errorf("edge: resilient: %s failed after %d attempts: %w", req.Kind, attempts, lastErr)
 }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // Server-hardening defaults.
@@ -139,6 +140,13 @@ type CloudServer struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 
+	// nodeName labels this server's spans so an in-process cluster's
+	// shared flight recorder can tell replicas apart (e.g. "s0r1").
+	nodeName atomic.Pointer[string]
+	// tracer receives this server's span fragments; nil uses
+	// trace.Default. Only requests carrying a TraceID allocate spans.
+	tracer *trace.Tracer
+
 	// panicHook, when set, runs before dispatch — test seam for the
 	// per-connection panic recovery.
 	panicHook func(*Request)
@@ -247,6 +255,30 @@ func (s *CloudServer) SetRebuildTimeout(d time.Duration) {
 // forced snapshots).
 func (s *CloudServer) Store() *store.Store { return s.st }
 
+// SetNodeName labels this server's trace spans (safe on a live server).
+// Cluster nodes use it so a shared in-process flight recorder can tell
+// replicas apart.
+func (s *CloudServer) SetNodeName(name string) { s.nodeName.Store(&name) }
+
+// NodeName returns the span label set by SetNodeName ("" by default).
+func (s *CloudServer) NodeName() string {
+	if p := s.nodeName.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetTracer points the server at a specific trace recorder (tests); nil
+// (the default) records into trace.Default.
+func (s *CloudServer) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+func (s *CloudServer) traceRecorder() *trace.Tracer {
+	if s.tracer != nil {
+		return s.tracer
+	}
+	return trace.Default
+}
+
 // appendTask validates and appends one task under mu. Validation is the
 // admission gate of the whole system: nothing non-finite, mis-shaped,
 // non-PSD or mis-dimensioned ever reaches the store or a rebuild.
@@ -286,13 +318,27 @@ func (s *CloudServer) appendTask(t dpprior.TaskPosterior) (uint64, error) {
 // in-process) and returns the new store version. The served prior
 // catches up asynchronously; use WaitCaughtUp to block until it has.
 func (s *CloudServer) AddTask(t dpprior.TaskPosterior) (uint64, error) {
+	return s.addTask(t, nil)
+}
+
+// addTask is AddTask with the caller's span: the durable append and the
+// semi-sync acknowledgement wait each become a child span, so a trace of
+// a slow upload shows whether the disk or the follower quorum ate the
+// time.
+func (s *CloudServer) addTask(t dpprior.TaskPosterior, sp *trace.Span) (uint64, error) {
+	ap := sp.Child("store-append")
 	v, err := s.appendTask(t)
 	if err != nil {
+		ap.EndErr(err)
 		return 0, err
 	}
+	ap.SetAttr(trace.Int("version", int64(v)))
+	ap.End()
 	s.kickRebuild()
 	if s.syncReplicas.Load() > 0 && !s.IsFollower() {
+		aw := sp.Child("ack-wait", trace.Int("version", int64(v)))
 		s.waitAcked(v)
+		aw.End()
 	}
 	return v, nil
 }
@@ -332,23 +378,35 @@ func (s *CloudServer) rebuildLoop() {
 			if hook != nil {
 				hook(v)
 			}
-			admitted := s.admit(tasks, seqs, true)
+			// The rebuild gets its own head-sampled trace: quarantine
+			// verdicts land on it as events, so a post-mortem can see which
+			// uploads the admission judge held out of the served prior.
+			rsp := s.traceRecorder().StartTrace("rebuild",
+				trace.Str("node", s.NodeName()), trace.Int("version", int64(v)), trace.Int("tasks", int64(len(tasks))))
+			admitted := s.admit(tasks, seqs, true, rsp)
 			if len(admitted) == 0 {
 				// Everything stored is quarantined: keep serving whatever
 				// prior exists, but mark the version covered so WaitCaughtUp
 				// waiters are released.
+				rsp.Event("all-quarantined")
+				rsp.End()
 				s.buildingSince.Store(0)
 				s.advanceBuilt(v)
 				continue
 			}
+			bsp := rsp.Child("build", trace.Int("admitted", int64(len(admitted))))
 			p, err := dpprior.Build(admitted, s.opts)
 			s.buildingSince.Store(0)
 			if err != nil {
 				// Leave the previous prior serving; the next AddTask (or
 				// cold-start fetch) retries.
+				bsp.EndErr(err)
+				rsp.EndErr(err)
 				s.logger.Error("edge: background prior rebuild failed", "version", v, "err", err)
 				break
 			}
+			bsp.End()
+			rsp.End()
 			s.setBuilt(p, v)
 			select {
 			case <-s.stopCh:
@@ -407,8 +465,8 @@ func (s *CloudServer) watchdog() {
 // the judge flagged but could not quarantine within the trim budget is
 // the opposite of provisional: it gets no verdict, is held out of this
 // rebuild, and is re-judged when the population (and so the budget)
-// grows.
-func (s *CloudServer) admit(tasks []dpprior.TaskPosterior, seqs []uint64, persist bool) []dpprior.TaskPosterior {
+// grows. New verdicts are recorded as events on sp (nil = untraced).
+func (s *CloudServer) admit(tasks []dpprior.TaskPosterior, seqs []uint64, persist bool, sp *trace.Span) []dpprior.TaskPosterior {
 	s.admMu.Lock()
 	cfg := s.adm
 	s.admMu.Unlock()
@@ -448,11 +506,13 @@ func (s *CloudServer) admit(tasks []dpprior.TaskPosterior, seqs []uint64, persis
 				if def[i] {
 					deferredSeq[undecidedSeqs[i]] = true
 					telemetry.ServerAdmitDeferred.Inc()
+					sp.Event("verdict", trace.Int("seq", int64(undecidedSeqs[i])), trace.Str("verdict", "deferred"))
 					continue
 				}
 				newVerdicts[undecidedSeqs[i]] = quarantined
 				if quarantined {
 					telemetry.ServerAdmitQuarantined.Inc()
+					sp.Event("verdict", trace.Int("seq", int64(undecidedSeqs[i])), trace.Str("verdict", "quarantined"))
 				} else {
 					telemetry.ServerAdmitAccepted.Inc()
 				}
@@ -519,19 +579,26 @@ var errNoTasks = errors.New("edge: no tasks reported yet")
 // start: tasks exist but no prior has ever been built. It fails when no
 // tasks have been reported yet.
 func (s *CloudServer) Prior() (*dpprior.Prior, uint64, error) {
+	return s.servedPriorAt(nil)
+}
+
+// servedPriorAt is Prior with the requesting span: a cold-start build
+// triggered by the request shows up as a "cold-build" child instead of
+// unexplained latency.
+func (s *CloudServer) servedPriorAt(sp *trace.Span) (*dpprior.Prior, uint64, error) {
 	s.priorMu.Lock()
 	p, built := s.prior, s.built
 	s.priorMu.Unlock()
 	if p != nil {
 		return p, built, nil
 	}
-	return s.buildCold()
+	return s.buildCold(sp)
 }
 
 // buildCold performs the one synchronous build: the first request after
 // tasks exist but before the worker has produced a prior. Serialized so
 // a thundering herd of first fetches runs one build, not N.
-func (s *CloudServer) buildCold() (*dpprior.Prior, uint64, error) {
+func (s *CloudServer) buildCold(sp *trace.Span) (*dpprior.Prior, uint64, error) {
 	s.buildMu.Lock()
 	defer s.buildMu.Unlock()
 	s.priorMu.Lock()
@@ -545,14 +612,19 @@ func (s *CloudServer) buildCold() (*dpprior.Prior, uint64, error) {
 	if v == 0 {
 		return nil, 0, errNoTasks
 	}
-	admitted := s.admit(tasks, seqs, false)
+	cb := sp.Child("cold-build", trace.Int("version", int64(v)))
+	admitted := s.admit(tasks, seqs, false, cb)
 	if len(admitted) == 0 {
+		cb.EndErr(errNoTasks)
 		return nil, 0, errNoTasks
 	}
 	p, err := dpprior.Build(admitted, s.opts)
 	if err != nil {
-		return nil, 0, fmt.Errorf("edge: rebuild prior: %w", err)
+		err = fmt.Errorf("edge: rebuild prior: %w", err)
+		cb.EndErr(err)
+		return nil, 0, err
 	}
+	cb.End()
 	s.setBuilt(p, v)
 	return p, v, nil
 }
@@ -803,9 +875,21 @@ func (s *CloudServer) handle(conn net.Conn) {
 			return
 		}
 		start := time.Now()
-		resp := s.serveRequest(&req)
+		// Join the caller's trace only when the request carries one: the
+		// untraced path (TraceID 0) allocates no spans.
+		var sp *trace.Span
+		if req.TraceID != 0 {
+			sp = s.traceRecorder().Join(req.TraceID, req.ParentSpan,
+				"serve "+req.Kind.String(), trace.Str("node", s.NodeName()))
+		}
+		resp := s.serveRequest(&req, sp)
+		sp.EndErr(errOf(resp))
 		telemetry.ServerReqCounter(req.Kind.String()).Inc()
-		telemetry.ServerRequestSeconds.Observe(time.Since(start).Seconds())
+		served := time.Since(start).Seconds()
+		telemetry.ServerRequestSeconds.Observe(served)
+		if sp != nil {
+			telemetry.RecordExemplar("drdp_edge_server_request_seconds", sp.TraceID().String(), served)
+		}
 		if err := enc.Encode(resp); err != nil {
 			s.logger.Warn("edge: encode response failed",
 				"remote", conn.RemoteAddr().String(), "err", err)
@@ -821,14 +905,14 @@ func (s *CloudServer) handle(conn net.Conn) {
 // CodeOverloaded immediately while the dispatch finishes in the
 // background — an AddTask that was going to commit still commits, so
 // shedding never drops an already-accepted task.
-func (s *CloudServer) serveRequest(req *Request) *Response {
+func (s *CloudServer) serveRequest(req *Request, sp *trace.Span) *Response {
 	if s.HandlerTimeout <= 0 {
 		if s.panicHook != nil {
 			s.panicHook(req)
 		}
 		telemetry.ServerInflight.Add(1)
 		defer telemetry.ServerInflight.Add(-1)
-		return s.dispatch(req)
+		return s.dispatch(req, sp)
 	}
 	done := make(chan *Response, 1)
 	go func() {
@@ -844,7 +928,7 @@ func (s *CloudServer) serveRequest(req *Request) *Response {
 		if s.panicHook != nil {
 			s.panicHook(req)
 		}
-		done <- s.dispatch(req)
+		done <- s.dispatch(req, sp)
 	}()
 	timer := time.NewTimer(s.HandlerTimeout)
 	defer timer.Stop()
@@ -853,6 +937,7 @@ func (s *CloudServer) serveRequest(req *Request) *Response {
 		return resp
 	case <-timer.C:
 		telemetry.ServerShedTimeout.Inc()
+		sp.Event("shed", trace.Str("reason", "handler-timeout"))
 		s.logger.Warn("edge: request exceeded handler deadline; shedding",
 			"kind", req.Kind.String(), "deadline", s.HandlerTimeout)
 		return &Response{
@@ -864,8 +949,8 @@ func (s *CloudServer) serveRequest(req *Request) *Response {
 
 // servedPrior resolves the current prior for a fetch-style request,
 // mapping errors to protocol responses (nil means success).
-func (s *CloudServer) servedPrior(req *Request) (*dpprior.Prior, uint64, *Response) {
-	p, version, err := s.Prior()
+func (s *CloudServer) servedPrior(req *Request, sp *trace.Span) (*dpprior.Prior, uint64, *Response) {
+	p, version, err := s.servedPriorAt(sp)
 	if err != nil {
 		code := CodeInternal
 		if errors.Is(err, errNoTasks) {
@@ -884,6 +969,7 @@ func (s *CloudServer) servedPrior(req *Request) (*dpprior.Prior, uint64, *Respon
 		// edge has already applied. Serving it would roll the edge back,
 		// so refuse and let the client fall through to a fresher replica.
 		telemetry.ServerLagging.Inc()
+		sp.Event("lagging", trace.Int("built", int64(version)), trace.Int("floor", int64(req.MinVersion)))
 		return nil, 0, &Response{
 			Err:     fmt.Sprintf("replica prior version %d trails required %d", version, req.MinVersion),
 			Code:    CodeLagging,
@@ -893,26 +979,29 @@ func (s *CloudServer) servedPrior(req *Request) (*dpprior.Prior, uint64, *Respon
 	return p, version, nil
 }
 
-func (s *CloudServer) dispatch(req *Request) *Response {
+func (s *CloudServer) dispatch(req *Request, sp *trace.Span) *Response {
 	switch req.Kind {
 	case GetPrior:
-		p, version, errResp := s.servedPrior(req)
+		p, version, errResp := s.servedPrior(req, sp)
 		if errResp != nil {
 			return errResp
 		}
 		if req.KnownVersion != 0 && req.KnownVersion == version {
 			telemetry.ServerPriorNotModified.Inc()
+			sp.Event("prior", trace.Str("payload", "not-modified"), trace.Int("version", int64(version)))
 			return &Response{Version: version, NotModified: true}
 		}
 		telemetry.ServerPriorFull.Inc()
+		sp.Event("prior", trace.Str("payload", "full"), trace.Int("version", int64(version)))
 		return &Response{Prior: p, Version: version}
 	case GetPriorDelta:
-		p, version, errResp := s.servedPrior(req)
+		p, version, errResp := s.servedPrior(req, sp)
 		if errResp != nil {
 			return errResp
 		}
 		if req.KnownVersion != 0 && req.KnownVersion == version {
 			telemetry.ServerPriorNotModified.Inc()
+			sp.Event("prior", trace.Str("payload", "not-modified"), trace.Int("version", int64(version)))
 			return &Response{Version: version, NotModified: true}
 		}
 		if old := s.priorAt(req.KnownVersion); old != nil {
@@ -923,11 +1012,13 @@ func (s *CloudServer) dispatch(req *Request) *Response {
 			if saved := p.WireSize() - delta.WireSize(); saved > 0 {
 				telemetry.ServerPriorDelta.Inc()
 				telemetry.ServerDeltaSavedBytes.Add(float64(saved))
+				sp.Event("prior", trace.Str("payload", "delta"), trace.Int("version", int64(version)))
 				return &Response{Delta: delta, Version: version}
 			}
 		}
 		// Version gap too old, diverged, or delta not worth it: full prior.
 		telemetry.ServerPriorFull.Inc()
+		sp.Event("prior", trace.Str("payload", "full"), trace.Int("version", int64(version)))
 		return &Response{Prior: p, Version: version}
 	case ReportTask:
 		if req.Task == nil {
@@ -935,15 +1026,16 @@ func (s *CloudServer) dispatch(req *Request) *Response {
 		}
 		if s.IsFollower() {
 			telemetry.ServerNotLeader.Inc()
+			sp.Event("not-leader")
 			return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
 		}
-		version, err := s.AddTask(*req.Task)
+		version, err := s.addTask(*req.Task, sp)
 		if err != nil {
 			return &Response{Err: err.Error(), Code: CodeBadRequest}
 		}
 		return &Response{Version: version}
 	case PullLog:
-		return s.servePullLog(req)
+		return s.servePullLog(req, sp)
 	case GetStats:
 		return &Response{Stats: s.Stats()}
 	default:

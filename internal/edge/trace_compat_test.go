@@ -1,0 +1,117 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
+)
+
+// legacyRequest is the wire shape of Request before the TraceID /
+// ParentSpan fields existed. Gob matches fields by name, so encoding one
+// shape and decoding the other must work in both directions.
+type legacyRequest struct {
+	Kind         RequestKind
+	Dim          int
+	KnownVersion uint64
+	Task         *dpprior.TaskPosterior
+	MinVersion   uint64
+	FollowerID   int
+	AfterSeq     uint64
+	MaxFrames    int
+}
+
+// TestRequestGobCompatOldToNew decodes a pre-trace client's request with
+// the current struct: the missing trace fields must come out zero — the
+// untraced wire form.
+func TestRequestGobCompatOldToNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	task := seedTasks(rng, 1, 3)[0]
+	old := legacyRequest{
+		Kind: ReportTask, Dim: 3, KnownVersion: 7, Task: &task,
+		MinVersion: 5, FollowerID: 2, AfterSeq: 9, MaxFrames: 16,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("new server failed to decode old client's request: %v", err)
+	}
+	if got.Kind != old.Kind || got.Dim != old.Dim || got.KnownVersion != old.KnownVersion ||
+		got.MinVersion != old.MinVersion || got.FollowerID != old.FollowerID ||
+		got.AfterSeq != old.AfterSeq || got.MaxFrames != old.MaxFrames || got.Task == nil {
+		t.Fatalf("shared fields did not survive: %+v", got)
+	}
+	if got.TraceID != 0 || got.ParentSpan != 0 {
+		t.Fatalf("trace context must decode as zero (untraced), got %d/%d", got.TraceID, got.ParentSpan)
+	}
+}
+
+// TestRequestGobCompatNewToOld decodes a traced request with the old
+// struct: gob drops the unknown trace fields and everything else must
+// survive — a new client against an old server.
+func TestRequestGobCompatNewToOld(t *testing.T) {
+	now := Request{
+		Kind: GetPriorDelta, Dim: 4, KnownVersion: 3, MinVersion: 3,
+		TraceID: 0xabcdef0123456789, ParentSpan: 0x42,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&now); err != nil {
+		t.Fatal(err)
+	}
+	var got legacyRequest
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("old server failed to decode new client's request: %v", err)
+	}
+	if got.Kind != now.Kind || got.Dim != now.Dim ||
+		got.KnownVersion != now.KnownVersion || got.MinVersion != now.MinVersion {
+		t.Fatalf("shared fields did not survive: %+v", got)
+	}
+}
+
+// TestUntracedRequestAllocatesNoServerSpans drives a server whose tracer
+// samples everything with untraced requests (TraceID 0): the server must
+// neither join nor start a single trace.
+func TestUntracedRequestAllocatesNoServerSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	srv, err := NewCloudServer(seedTasks(rng, 4, 3), dpprior.BuildOptions{Alpha: 1, Seed: 7}, telemetry.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.WaitCaughtUp()
+	tr := trace.New(trace.Config{SampleRate: 1, Seed: 99})
+	srv.SetTracer(tr)
+	before := tr.Stats()
+
+	for _, req := range []Request{
+		{Kind: GetPrior, Dim: 3},
+		{Kind: GetStats},
+		{Kind: GetPriorDelta, Dim: 3, KnownVersion: 1},
+	} {
+		resp := srv.serveRequest(&req, nil)
+		if resp == nil {
+			t.Fatalf("%s: nil response", req.Kind)
+		}
+	}
+	after := tr.Stats()
+	if after.Joined != before.Joined {
+		t.Fatalf("untraced requests joined %d traces", after.Joined-before.Joined)
+	}
+
+	// And the wire-level joined path DOES record when a TraceID arrives.
+	sp := tr.Join(0x1234, 0x1, "serve get-stats")
+	if sp == nil {
+		t.Fatal("joined span expected for a traced request")
+	}
+	sp.End()
+	if got := tr.Stats().Joined; got != before.Joined+1 {
+		t.Fatalf("joined = %d, want %d", got, before.Joined+1)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/mat"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/trace"
 )
 
 // ClusterConfig sizes a replicated-shard-tier scenario. Unlike the
@@ -44,6 +45,12 @@ type ClusterConfig struct {
 	SyncReplicas int
 	// Dir is the base store directory ("" = memory-only).
 	Dir string
+	// Audit enables round-audit tracing: head sampling on trace.Default
+	// is forced to 1 for the run (restored after), every round's uploads
+	// and merged fetch run under one "cluster-round" root span, and the
+	// flight-recorder snapshot is captured into the result — including
+	// the coordinator's pinned "failover" trace when a kill is injected.
+	Audit bool
 	// Seed drives the synthetic workload and all cluster jitter.
 	Seed   int64
 	Logger *slog.Logger
@@ -92,6 +99,10 @@ type ClusterResult struct {
 	FinalVersions    []uint64 // per-shard leader store versions at the end
 	MergedComponents int
 	PriorBytes       []byte // gob of the final merged prior (byte-identity checks)
+
+	// Traces is the flight-recorder snapshot at the end of an Audit run
+	// (nil otherwise).
+	Traces *trace.Snapshot
 }
 
 // RunCluster executes one replicated-shard-tier scenario: feed Rounds
@@ -110,6 +121,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		return nil, errors.New("sim: killing a leader needs at least 2 replicas")
 	}
 	logger := telemetry.OrDefault(cfg.Logger)
+	if cfg.Audit {
+		prevRate := trace.Default.SampleRate()
+		trace.Default.SetSampleRate(1)
+		defer trace.Default.SetSampleRate(prevRate)
+	}
 	cl, err := cluster.Start(cluster.Config{
 		Shards:        cfg.Shards,
 		Replicas:      cfg.Replicas,
@@ -183,15 +199,27 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			probe.Close()
 			out.RecoveryTime = time.Since(killedAt)
 		}
-		for i := 0; i < cfg.TasksPerRound; i++ {
-			if _, err := sc.ReportTask(tasks[round*cfg.TasksPerRound+i]); err != nil {
-				return nil, fmt.Errorf("sim: round %d upload %d: %w", round, i, err)
+		// In an Audit run, the whole round — every upload and the merged
+		// fetch — hangs off one root span, so /tracez shows per-round trees.
+		rspan := trace.Default.StartTrace("cluster-round", trace.Int("round", int64(round)))
+		sc.SetTraceParent(rspan)
+		roundErr := func() error {
+			for i := 0; i < cfg.TasksPerRound; i++ {
+				if _, err := sc.ReportTask(tasks[round*cfg.TasksPerRound+i]); err != nil {
+					return fmt.Errorf("sim: round %d upload %d: %w", round, i, err)
+				}
+				out.Tasks++
 			}
-			out.Tasks++
-		}
-		// The round's read: every edge refreshes its merged prior.
-		if _, err := sc.FetchMergedPrior(cfg.Dim); err != nil && !errors.Is(err, edge.ErrNoPrior) {
-			return nil, fmt.Errorf("sim: round %d merged fetch: %w", round, err)
+			// The round's read: every edge refreshes its merged prior.
+			if _, err := sc.FetchMergedPrior(cfg.Dim); err != nil && !errors.Is(err, edge.ErrNoPrior) {
+				return fmt.Errorf("sim: round %d merged fetch: %w", round, err)
+			}
+			return nil
+		}()
+		sc.SetTraceParent(nil)
+		rspan.EndErr(roundErr)
+		if roundErr != nil {
+			return nil, roundErr
 		}
 	}
 	out.Elapsed = time.Since(start)
@@ -220,6 +248,10 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	out.PriorBytes = buf.Bytes()
 	out.MapVersion = cl.Coordinator().Map().Version
+	if cfg.Audit {
+		snap := trace.Default.Snapshot()
+		out.Traces = &snap
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		if n := cl.LeaderOf(s); n != nil {
 			out.FinalVersions = append(out.FinalVersions, n.Server().Store().Version())

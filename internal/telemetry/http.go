@@ -54,14 +54,20 @@ func jsonSafeSnapshot(v Values) map[string]any {
 	}
 	hists := make(map[string]any, len(v.Histograms))
 	for k, h := range v.Histograms {
-		hists[k] = map[string]any{
+		hv := map[string]any{
 			"bounds": h.Bounds,
 			"counts": h.Counts,
 			"sum":    num(h.Sum),
 			"count":  h.Count,
-			"p50":    num(h.Quantile(0.5)),
-			"p99":    num(h.Quantile(0.99)),
 		}
+		// Quantiles of an empty histogram are undefined (NaN sentinel);
+		// omit the keys rather than shipping a bogus 0 or a "NaN" string
+		// a dashboard would coerce to zero.
+		if h.Count > 0 {
+			hv["p50"] = num(h.Quantile(0.5))
+			hv["p99"] = num(h.Quantile(0.99))
+		}
+		hists[k] = hv
 	}
 	return map[string]any{
 		"counters":   counters,
@@ -73,6 +79,7 @@ func jsonSafeSnapshot(v Values) map[string]any {
 // NewMux returns a mux with the full observability surface mounted:
 //
 //	/metrics      Prometheus text exposition of r (nil = Default)
+//	/tracez       flight-recorder traces (HTML, JSON, per-trace trees)
 //	/healthz      readiness: 200 when every RegisterHealth check passes
 //	/debug/vars   expvar JSON (includes a "drdp" snapshot of Default)
 //	/debug/pprof  the standard pprof index, profiles and traces
@@ -82,6 +89,7 @@ func NewMux(r *Registry) *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/tracez", TracezHandler(nil))
 	mux.HandleFunc("/healthz", healthHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -97,6 +105,7 @@ func NewMux(r *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]string{
 			"metrics": "/metrics",
+			"tracez":  "/tracez",
 			"healthz": "/healthz",
 			"expvar":  "/debug/vars",
 			"pprof":   "/debug/pprof/",

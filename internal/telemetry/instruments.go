@@ -24,6 +24,16 @@ var (
 	EdgeClientReceived  = Default.Counter("drdp_edge_client_received_bytes_total")
 	EdgeClientRoundtrip = Default.Histogram("drdp_edge_client_roundtrip_seconds", nil)
 
+	// Requests that failed for good, by the FINAL attempt's cause — not
+	// the first: a round that dialed fine, then died on a reset, then
+	// exhausted its budget against an overloaded server is an
+	// "overloaded" exhaustion, which is the cause an operator must act
+	// on. See ResilientClient.do.
+	EdgeClientExhaustedDial       = Default.Counter("drdp_edge_client_exhausted_total", L("cause", "dial"))
+	EdgeClientExhaustedTransport  = Default.Counter("drdp_edge_client_exhausted_total", L("cause", "transport"))
+	EdgeClientExhaustedOverloaded = Default.Counter("drdp_edge_client_exhausted_total", L("cause", "overloaded"))
+	EdgeClientExhaustedBreaker    = Default.Counter("drdp_edge_client_exhausted_total", L("cause", "breaker-open"))
+
 	// --- circuit breaker ---------------------------------------------
 	BreakerState      = Default.Gauge("drdp_edge_breaker_state")
 	BreakerToClosed   = Default.Counter("drdp_edge_breaker_transitions_total", L("to", "closed"))
@@ -177,6 +187,21 @@ func DeviceRoundCounter(level string) *Counter {
 	}
 }
 
+// EdgeClientExhaustedCounter maps a final-failure cause to its
+// exhaustion counter; unknown causes count as transport.
+func EdgeClientExhaustedCounter(cause string) *Counter {
+	switch cause {
+	case "dial":
+		return EdgeClientExhaustedDial
+	case "overloaded":
+		return EdgeClientExhaustedOverloaded
+	case "breaker-open":
+		return EdgeClientExhaustedBreaker
+	default:
+		return EdgeClientExhaustedTransport
+	}
+}
+
 // BreakerTransitionCounter maps a BreakerState name (BreakerState
 // .String()) to the transitions-into-that-state counter.
 func BreakerTransitionCounter(to string) *Counter {
@@ -303,6 +328,7 @@ func init() {
 		"drdp_repl_ack_timeouts_total":             "Semi-sync appends acknowledged after the follower-ack timeout expired.",
 		"drdp_cluster_promotions_total":            "Follower promotions after a leader loss.",
 		"drdp_cluster_redirects_total":             "Edge requests redirected by a shard-map version bump.",
+		"drdp_edge_client_exhausted_total":         "Requests that failed for good, by the final attempt's error cause (retry budget exhausted or breaker open).",
 	} {
 		Default.SetHelp(name, help)
 	}

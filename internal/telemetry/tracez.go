@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/drdp/drdp/internal/trace"
+)
+
+// Exemplar links a latency histogram to one concrete recorded trace: the
+// slowest recently traced request that fed the histogram. It is the
+// bridge from "p99 looks bad" on /metrics to "here is a span tree of one
+// such request" on /tracez.
+type Exemplar struct {
+	Histogram string    `json:"histogram"`
+	Trace     string    `json:"trace"`
+	Seconds   float64   `json:"seconds"`
+	At        time.Time `json:"at"`
+}
+
+// exemplarTTL ages out a slow exemplar so a single historic outlier does
+// not shadow current behavior forever.
+const exemplarTTL = time.Minute
+
+var (
+	exemplarMu sync.Mutex
+	exemplars  = map[string]Exemplar{}
+)
+
+// RecordExemplar offers traceID as the exemplar for histogram hist. The
+// slowest observation wins until it ages past exemplarTTL; untraced
+// observations (empty ID) are ignored.
+func RecordExemplar(hist, traceID string, seconds float64) {
+	if traceID == "" {
+		return
+	}
+	exemplarMu.Lock()
+	cur, ok := exemplars[hist]
+	if !ok || seconds >= cur.Seconds || time.Since(cur.At) > exemplarTTL {
+		exemplars[hist] = Exemplar{Histogram: hist, Trace: traceID, Seconds: seconds, At: time.Now()}
+	}
+	exemplarMu.Unlock()
+}
+
+// Exemplars snapshots the current histogram→trace exemplars, sorted by
+// histogram name.
+func Exemplars() []Exemplar {
+	exemplarMu.Lock()
+	out := make([]Exemplar, 0, len(exemplars))
+	for _, e := range exemplars {
+		out = append(out, e)
+	}
+	exemplarMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Histogram < out[j].Histogram })
+	return out
+}
+
+// tracezSnapshot is the /tracez?format=json document: the flight
+// recorder plus the histogram exemplars pointing into it.
+type tracezSnapshot struct {
+	trace.Snapshot
+	SampleRate float64    `json:"sample_rate"`
+	Exemplars  []Exemplar `json:"exemplars,omitempty"`
+}
+
+// TracezHandler serves the flight recorder of t (nil = trace.Default):
+//
+//	/tracez                     HTML: stats, notable + recent traces
+//	/tracez?format=json         the full snapshot as JSON
+//	/tracez?trace=<hexid>       one trace as an ASCII span tree
+//	/tracez?trace=<id>&format=json  the same trace's dumps as JSON
+func TracezHandler(t *trace.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		tr := t
+		if tr == nil {
+			tr = trace.Default
+		}
+		q := req.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			u, err := strconv.ParseUint(id, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			dumps := tr.Find(trace.TraceID(u))
+			if len(dumps) == 0 {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			if q.Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(dumps)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, td := range dumps {
+				fmt.Fprintln(w, td.Tree())
+			}
+			return
+		}
+		snap := tracezSnapshot{
+			Snapshot:   tr.Snapshot(),
+			SampleRate: tr.SampleRate(),
+			Exemplars:  Exemplars(),
+		}
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snap)
+			return
+		}
+		writeTracezHTML(w, snap)
+	})
+}
+
+func writeTracezHTML(w http.ResponseWriter, snap tracezSnapshot) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><html><head><title>drdp tracez</title><style>
+body{font-family:monospace;margin:1.5em}table{border-collapse:collapse;margin:0.5em 0}
+td,th{border:1px solid #999;padding:2px 8px;text-align:left}
+.err{color:#b00}.note{color:#850}h2{margin-top:1.2em}</style></head><body>
+<h1>drdp flight recorder</h1>`)
+	st := snap.Stats
+	fmt.Fprintf(w, "<p>sample-rate %g · started %d · sampled %d · joined %d · completed %d · notable %d · spans-dropped %d</p>\n",
+		snap.SampleRate, st.Started, st.Sampled, st.Joined, st.Completed, st.Notable, st.SpansDropped)
+	if len(snap.Exemplars) > 0 {
+		fmt.Fprint(w, "<h2>latency exemplars</h2><table><tr><th>histogram</th><th>seconds</th><th>trace</th></tr>\n")
+		for _, e := range snap.Exemplars {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%.6f</td><td><a href=\"/tracez?trace=%s\">%s</a></td></tr>\n",
+				html.EscapeString(e.Histogram), e.Seconds, e.Trace, e.Trace)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	table := func(title string, tds []*trace.TraceDump) {
+		fmt.Fprintf(w, "<h2>%s (%d)</h2>", title, len(tds))
+		if len(tds) == 0 {
+			fmt.Fprint(w, "<p>none</p>\n")
+			return
+		}
+		fmt.Fprint(w, "<table><tr><th>trace</th><th>root</th><th>dur</th><th>spans</th><th>flags</th></tr>\n")
+		for i := len(tds) - 1; i >= 0; i-- { // newest first
+			td := tds[i]
+			flags := ""
+			if td.Err {
+				flags += `<span class=err>ERROR</span> `
+			}
+			if td.Pinned {
+				flags += `<span class=note>pinned</span> `
+			} else if td.Notable {
+				flags += `<span class=note>slow</span> `
+			}
+			fmt.Fprintf(w, "<tr><td><a href=\"/tracez?trace=%s\">%s</a></td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+				td.Trace, td.Trace, html.EscapeString(td.Name), td.Dur.Round(time.Microsecond), len(td.Spans), flags)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	table("notable traces", snap.Notable)
+	table("recent traces", snap.Recent)
+	fmt.Fprint(w, "</body></html>\n")
+}

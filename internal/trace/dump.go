@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// AttrDump is one attribute rendered for JSON/HTML.
+type AttrDump struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// EventDump is one span event rendered for JSON/HTML.
+type EventDump struct {
+	Offset time.Duration `json:"offset_ns"`
+	Name   string        `json:"name"`
+	Attrs  []AttrDump    `json:"attrs,omitempty"`
+}
+
+// SpanDump is one completed (or still-open-at-finalize) span. IDs are
+// hex strings: uint64 does not survive JSON's float64 round trip.
+type SpanDump struct {
+	ID     string        `json:"id"`
+	Parent string        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Err    string        `json:"err,omitempty"`
+	// Open marks a span that had not ended when its trace finalized
+	// (e.g. an abandoned handler still running in the background).
+	Open    bool        `json:"open,omitempty"`
+	Attrs   []AttrDump  `json:"attrs,omitempty"`
+	Events  []EventDump `json:"events,omitempty"`
+	Dropped int         `json:"events_dropped,omitempty"`
+}
+
+// TraceDump is one complete trace as retained by the flight recorder.
+type TraceDump struct {
+	Trace   string        `json:"trace"`
+	Name    string        `json:"name"` // root span name
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Err     bool          `json:"err"`
+	Notable bool          `json:"notable"`
+	// Pinned is set when a span called Pin: the trace is notable by
+	// declaration, independent of error state or duration.
+	Pinned bool `json:"pinned,omitempty"`
+	// Dropped counts spans discarded over the per-trace bound.
+	Dropped int        `json:"spans_dropped,omitempty"`
+	Spans   []SpanDump `json:"spans"`
+}
+
+func dumpAttrs(attrs []Attr) []AttrDump {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]AttrDump, len(attrs))
+	for i, a := range attrs {
+		out[i] = AttrDump{Key: a.Key, Value: a.Value()}
+	}
+	return out
+}
+
+// dump freezes a fragment's spans into a TraceDump.
+func dump(id TraceID, spans []*Span, dropped int) *TraceDump {
+	td := &TraceDump{Trace: id.String(), Dropped: dropped}
+	for i, sp := range spans {
+		sp.mu.Lock()
+		pinned := sp.notable
+		sd := SpanDump{
+			ID:      sp.id.String(),
+			Name:    sp.name,
+			Start:   sp.start,
+			Dur:     sp.dur,
+			Err:     sp.err,
+			Open:    !sp.ended,
+			Attrs:   dumpAttrs(sp.attrs),
+			Dropped: sp.dropped,
+		}
+		if sp.parent != 0 {
+			sd.Parent = sp.parent.String()
+		}
+		if len(sp.events) > 0 {
+			sd.Events = make([]EventDump, len(sp.events))
+			for j, ev := range sp.events {
+				sd.Events[j] = EventDump{Offset: ev.Offset, Name: ev.Name, Attrs: dumpAttrs(ev.Attrs)}
+			}
+		}
+		sp.mu.Unlock()
+		if sd.Open {
+			sd.Dur = time.Since(sd.Start)
+		}
+		if sd.Err != "" {
+			td.Err = true
+		}
+		if pinned {
+			td.Pinned = true
+		}
+		if i == 0 {
+			td.Name = sd.Name
+			td.Start = sd.Start
+			td.Dur = sd.Dur
+		}
+		td.Spans = append(td.Spans, sd)
+	}
+	return td
+}
+
+// MergeDumps stitches every retained fragment of one trace into a
+// single dump. Each process-local fragment (the edge's root spans, each
+// server's joined serve spans) completes into the flight recorder on its
+// own; merging by span ID reassembles the full cross-node tree for
+// display. Spans are ordered by start time, so the originating root
+// comes first; fragments of other traces (or duplicates from a trace
+// retained in both rings) are skipped. Returns nil on no input.
+func MergeDumps(dumps []*TraceDump) *TraceDump {
+	if len(dumps) == 0 {
+		return nil
+	}
+	out := &TraceDump{Trace: dumps[0].Trace}
+	seenDump := make(map[*TraceDump]bool, len(dumps))
+	seenSpan := make(map[string]bool)
+	for _, td := range dumps {
+		if td == nil || td.Trace != out.Trace || seenDump[td] {
+			continue
+		}
+		seenDump[td] = true
+		out.Err = out.Err || td.Err
+		out.Notable = out.Notable || td.Notable
+		out.Pinned = out.Pinned || td.Pinned
+		out.Dropped += td.Dropped
+		for _, sd := range td.Spans {
+			if seenSpan[sd.ID] {
+				continue
+			}
+			seenSpan[sd.ID] = true
+			out.Spans = append(out.Spans, sd)
+		}
+	}
+	sort.SliceStable(out.Spans, func(a, b int) bool {
+		return out.Spans[a].Start.Before(out.Spans[b].Start)
+	})
+	if root := out.Root(); root != nil {
+		out.Name, out.Start, out.Dur = root.Name, root.Start, root.Dur
+	}
+	return out
+}
+
+// Span lookup helpers used by tests and the audit printers.
+
+// Root returns the dump's root span (the first recorded).
+func (td *TraceDump) Root() *SpanDump {
+	if len(td.Spans) == 0 {
+		return nil
+	}
+	return &td.Spans[0]
+}
+
+// SpansNamed returns every span whose name matches exactly.
+func (td *TraceDump) SpansNamed(name string) []*SpanDump {
+	var out []*SpanDump
+	for i := range td.Spans {
+		if td.Spans[i].Name == name {
+			out = append(out, &td.Spans[i])
+		}
+	}
+	return out
+}
+
+// Attr returns the span's attribute value for key ("" when absent).
+func (sd *SpanDump) Attr(key string) string {
+	for _, a := range sd.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// HasEvent reports whether the span logged an event with this name.
+func (sd *SpanDump) HasEvent(name string) bool {
+	for _, ev := range sd.Events {
+		if ev.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree renders the trace as an indented ASCII span tree:
+//
+//	round (12.3ms)
+//	├─ call report-task (4.1ms) shard=1
+//	│  ├─ dial (0.2ms)
+//	│  └─ serve report-task (1.0ms) node=s1r0
+//	│       · append seq=7
+//	└─ merged-fetch (6.0ms)
+//
+// Spans recorded on other nodes but joined into the same trace attach
+// under their wire parent; orphans (parent span not in this dump)
+// attach at the top level.
+func (td *TraceDump) Tree() string {
+	children := make(map[string][]int)
+	byID := make(map[string]bool, len(td.Spans))
+	for i := range td.Spans {
+		byID[td.Spans[i].ID] = true
+	}
+	var roots []int
+	for i := range td.Spans {
+		p := td.Spans[i].Parent
+		if p == "" || !byID[p] {
+			roots = append(roots, i)
+			continue
+		}
+		children[p] = append(children[p], i)
+	}
+	// Children in start order so the tree reads chronologically.
+	order := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return td.Spans[idx[a]].Start.Before(td.Spans[idx[b]].Start)
+		})
+	}
+	order(roots)
+	for _, c := range children {
+		order(c)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s", td.Trace, flags(td))
+	b.WriteByte('\n')
+	var walk func(idx int, prefix string, last bool)
+	walk = func(idx int, prefix string, last bool) {
+		sd := &td.Spans[idx]
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(&b, "%s%s%s (%s)%s%s\n",
+			prefix, branch, sd.Name, sd.Dur.Round(time.Microsecond), attrSuffix(sd.Attrs), errSuffix(sd))
+		for _, ev := range sd.Events {
+			fmt.Fprintf(&b, "%s· +%s %s%s\n", childPrefix, ev.Offset.Round(time.Microsecond), ev.Name, attrSuffix(ev.Attrs))
+		}
+		kids := children[sd.ID]
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	for i, r := range roots {
+		walk(r, "", i == len(roots)-1)
+	}
+	if td.Dropped > 0 {
+		fmt.Fprintf(&b, "(+%d spans dropped over the per-trace bound)\n", td.Dropped)
+	}
+	return b.String()
+}
+
+func flags(td *TraceDump) string {
+	out := td.Dur.Round(time.Microsecond).String()
+	if td.Err {
+		out += " ERROR"
+	}
+	if td.Notable {
+		out += " notable"
+	}
+	return out
+}
+
+func attrSuffix(attrs []AttrDump) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+func errSuffix(sd *SpanDump) string {
+	switch {
+	case sd.Err != "":
+		return " ERROR: " + sd.Err
+	case sd.Open:
+		return " (still open)"
+	default:
+		return ""
+	}
+}
