@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json chaos trace-smoke
+.PHONY: all build vet test race check bench bench-json bench-wire chaos chaos-gob fuzz-wire trace-smoke
 
 all: check
 
@@ -30,6 +30,27 @@ bench:
 chaos:
 	$(GO) test -race -count=2 -run 'Cluster|Repl|Follower|SemiSync|Dedupe|MinVersion|PullLog|Trace' \
 		./internal/cluster/ ./internal/sim/ ./internal/edge/ ./internal/trace/
+
+# Same chaos matrix with every auto-negotiating client forced onto the
+# gob fallback, so both wire codecs carry the failover guarantees.
+chaos-gob:
+	DRDP_WIRE=gob $(MAKE) chaos
+
+# Wire codec gates: the microbenchmarks with allocation reporting, the
+# decode allocs/op budget (binary decode into reused buffers must stay
+# at exactly 0 allocs/op — the test fails on any regression), and the
+# Table 16 binary-vs-gob comparison as a BENCH_table16.json artifact.
+bench-wire:
+	$(GO) test -run TestBinaryDecodeAllocBudget -count=1 -v ./internal/wire/
+	$(GO) test -bench 'BenchmarkWire' -benchmem -run '^$$' ./internal/wire/
+	mkdir -p $(BENCH_OUT)
+	$(GO) run ./cmd/drdp-bench -fast -only table16 -json $(BENCH_OUT)
+
+# Short fuzz smoke over the binary codec: round-trip stability plus
+# malformed-frame rejection (CI runs this; `go test -fuzz` without
+# -fuzztime explores indefinitely for local sessions).
+fuzz-wire:
+	$(GO) test -fuzz FuzzWireCodec -fuzztime 10s -run '^$$' ./internal/wire/
 
 # Tracing smoke: run the cluster scenario with a mid-round leader kill
 # and full sampling, dump the flight recorder, and check that the

@@ -35,6 +35,7 @@ import (
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/telemetry"
 	"github.com/drdp/drdp/internal/trace"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 func main() {
@@ -67,6 +68,7 @@ func run() error {
 		fallback  = flag.Bool("fallback-local", false, "train prior-free when the cloud is unreachable and the cache is cold")
 		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /tracez, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "silence transport warnings")
+		wireF     = flag.String("wire", "", "wire codec preference: auto (negotiate binary, fall back to gob) or gob; empty = $DRDP_WIRE or auto")
 
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for device-round traces; sampled rounds propagate trace context to the cloud (0 = off)")
 	)
@@ -144,6 +146,7 @@ func run() error {
 			DialTimeout:      *timeout,
 			RoundTripTimeout: *rtTimeout,
 			Seed:             *seed,
+			WireCodec:        wire.ParsePreference(*wireF),
 		}
 		if *quiet {
 			ropts.Logger = telemetry.Discard()
@@ -179,7 +182,7 @@ func run() error {
 		if result.Responsibilities != nil {
 			fmt.Printf("prior responsibilities: %.3f\n", result.Responsibilities)
 		}
-		fmt.Printf("prior: %s (version %d)\n", status.Degradation, status.PriorVersion)
+		fmt.Printf("prior: %s (version %d, codec %s)\n", status.Degradation, status.PriorVersion, status.Codec)
 		if status.FetchErr != nil {
 			fmt.Printf("degraded because: %v\n", status.FetchErr)
 		}

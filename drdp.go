@@ -44,6 +44,7 @@ import (
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 // Core learner.
@@ -292,6 +293,14 @@ type (
 	PriorCache = edge.PriorCache
 	// RunStatus reports the degradation level a device round ran at.
 	RunStatus = edge.RunStatus
+	// MuxClient pipelines concurrent requests over one negotiated
+	// connection (FIFO multiplexing; safe for many goroutines).
+	MuxClient = edge.MuxClient
+	// WireCodec identifies how a connection serializes messages
+	// (binary or the gob fallback).
+	WireCodec = wire.Codec
+	// WirePreference is the dial-time codec preference.
+	WirePreference = wire.Preference
 	// Degradation is the prior level a round actually used.
 	Degradation = edge.Degradation
 	// FaultConfig schedules deterministic faults on a connection
@@ -310,6 +319,19 @@ const (
 	DegradedCached = edge.DegradedCached
 	// DegradedLocal trained without a prior.
 	DegradedLocal = edge.DegradedLocal
+)
+
+// Wire codec selection (see DESIGN.md S22).
+const (
+	// WirePreferAuto negotiates the binary codec and falls back to gob
+	// against servers that predate the handshake.
+	WirePreferAuto = wire.PreferAuto
+	// WirePreferGob skips negotiation and speaks pure gob.
+	WirePreferGob = wire.PreferGob
+	// WireCodecGob is the reflection-based fallback every peer speaks.
+	WireCodecGob = wire.CodecGob
+	// WireCodecBinary is the fixed-layout zero-reflection codec.
+	WireCodecBinary = wire.CodecBinary
 )
 
 // Durable task store: crash-safe persistence for the cloud server's
@@ -385,6 +407,13 @@ var (
 	DialResilient = edge.DialResilient
 	// NewResilientClient wraps a custom dial function (simulated links).
 	NewResilientClient = edge.NewResilientClient
+	// DialMux connects a multiplexed pipelining client with the given
+	// codec preference (WirePreferAuto negotiates binary, falls back to
+	// gob against pre-negotiation servers).
+	DialMux = edge.DialMux
+	// ParseWirePreference maps "gob"/"auto" (the -wire flag and
+	// DRDP_WIRE values) to a WirePreference.
+	ParseWirePreference = wire.ParsePreference
 	// NewPriorCache creates an optionally file-backed prior cache.
 	NewPriorCache = edge.NewPriorCache
 	// DefaultRetryPolicy is the recommended edge retry schedule.

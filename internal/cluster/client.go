@@ -183,6 +183,81 @@ func (c *ShardedClient) reportTask(t dpprior.TaskPosterior) (uint64, error) {
 	return 0, fmt.Errorf("cluster: report to shard %d failed after redirects: %w", shard, lastErr)
 }
 
+// BatchReportTasks ships a round's task posteriors in one framed write
+// per shard: the tasks are grouped by fingerprint-routed shard
+// (preserving upload order within each group, so per-shard append order
+// matches the sequential path exactly) and each group goes up as one
+// BatchAddTask. Returns the number of tasks applied. A shard whose
+// leader moved gets the same redirect handling as single uploads.
+func (c *ShardedClient) BatchReportTasks(ts []dpprior.TaskPosterior) (int, error) {
+	end := c.beginOp("batch-upload")
+	n, err := c.batchReportTasks(ts)
+	end(err)
+	return n, err
+}
+
+func (c *ShardedClient) batchReportTasks(ts []dpprior.TaskPosterior) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	if err := c.refreshMap(false); err != nil {
+		return 0, err
+	}
+	groups := make(map[int][]dpprior.TaskPosterior)
+	for _, t := range ts {
+		shard := c.m.ShardOf(t.Fingerprint())
+		groups[shard] = append(groups[shard], t)
+	}
+	done := 0
+	for shard := 0; shard < len(c.m.Shards); shard++ {
+		batch, ok := groups[shard]
+		if !ok {
+			continue
+		}
+		var lastErr error
+		sent := false
+		for attempt := 0; attempt < 3 && !sent; attempt++ {
+			if attempt > 0 {
+				if err := c.refreshMap(true); err != nil {
+					return done, err
+				}
+			}
+			_, n, err := c.conn(c.m.Shards[shard].Leader).BatchReportTasks(batch)
+			if err == nil {
+				done += n
+				sent = true
+				break
+			}
+			lastErr = err
+			var se *edge.ServerError
+			if errors.As(err, &se) && se.Code != edge.CodeNotLeader {
+				return done, err
+			}
+			// Not-leader or transport failure: re-resolve and retry. The
+			// retry is safe — cluster nodes dedupe uploads by fingerprint,
+			// so tasks that landed before an ambiguous failure ack without
+			// a second append.
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !sent {
+			return done, fmt.Errorf("cluster: batch to shard %d failed after redirects: %w", shard, lastErr)
+		}
+	}
+	return done, nil
+}
+
+// Codecs reports the negotiated wire codec of every live connection
+// (coordinator and shard nodes) as codec-name → connection count, so
+// cluster results can state which codec actually carried the round.
+func (c *ShardedClient) Codecs() map[string]int {
+	out := make(map[string]int)
+	out[c.coord.Codec().String()]++
+	for _, rc := range c.conns {
+		out[rc.Codec().String()]++
+	}
+	return out
+}
+
 // ShardPrior fetches one shard's current prior, trying followers first
 // (read scaling) and the leader last, with the read-your-writes floor.
 // A NotModified answer returns the cached prior.

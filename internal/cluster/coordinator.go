@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/telemetry"
 	"github.com/drdp/drdp/internal/trace"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 const (
@@ -109,9 +111,11 @@ func (co *Coordinator) Map() edge.ShardMap {
 	return m
 }
 
-// serve answers GetShardMap over the edge protocol's gob framing. The
-// endpoint is deliberately tiny: one request kind, conditional on
-// KnownVersion, everything else rejected.
+// serve answers GetShardMap over the edge protocol, negotiating the
+// wire codec per connection exactly like a cloud server: a hello gets
+// an ack and the binary framer, anything else speaks gob. The endpoint
+// is deliberately tiny: one request kind, conditional on KnownVersion,
+// everything else rejected.
 func (co *Coordinator) serve(ln net.Listener) {
 	defer co.wg.Done()
 	for {
@@ -123,11 +127,46 @@ func (co *Coordinator) serve(ln net.Listener) {
 		go func() {
 			defer co.wg.Done()
 			defer conn.Close()
-			dec := gob.NewDecoder(conn)
-			enc := gob.NewEncoder(conn)
+			br := bufio.NewReader(conn)
+			codec := wire.CodecGob
+			var bdec *wire.Decoder
+			var benc *wire.Encoder
+			var gdec *gob.Decoder
+			var genc *gob.Encoder
+			if wire.SniffHello(br) {
+				prefer, _, err := wire.ReadHello(br)
+				if err != nil {
+					return
+				}
+				chosen := wire.CodecBinary
+				if prefer == wire.CodecGob {
+					chosen = wire.CodecGob
+				}
+				if err := wire.WriteAck(conn, chosen); err != nil {
+					return
+				}
+				codec = chosen
+			}
+			if codec == wire.CodecBinary {
+				telemetry.WireNegotiateServerBinary.Inc()
+				bdec = wire.NewDecoder(br, edge.DefaultMaxFrameBytes)
+				benc = wire.NewEncoder(conn)
+				defer bdec.Release()
+				defer benc.Release()
+			} else {
+				telemetry.WireNegotiateServerGob.Inc()
+				gdec = gob.NewDecoder(br)
+				genc = gob.NewEncoder(conn)
+			}
 			for {
 				var req edge.Request
-				if err := dec.Decode(&req); err != nil {
+				var err error
+				if codec == wire.CodecBinary {
+					err = bdec.DecodeRequest(&req)
+				} else {
+					err = gdec.Decode(&req)
+				}
+				if err != nil {
 					return
 				}
 				telemetry.ServerReqCounter(req.Kind.String()).Inc()
@@ -153,7 +192,12 @@ func (co *Coordinator) serve(ln net.Listener) {
 				} else {
 					sp.End()
 				}
-				if err := enc.Encode(&resp); err != nil {
+				if codec == wire.CodecBinary {
+					err = benc.EncodeResponse(&resp)
+				} else {
+					err = genc.Encode(&resp)
+				}
+				if err != nil {
 					return
 				}
 			}

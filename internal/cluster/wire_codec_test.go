@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/wire"
+)
+
+// runCodecScenario feeds one deterministic workload — batched uploads,
+// exactly as the sim does — through a sharded client pinned to the
+// given codec preference, and returns the merged prior's gob bytes
+// from a fresh post-quiesce client using the same preference.
+func runCodecScenario(t *testing.T, pref wire.Preference) ([]byte, map[string]int) {
+	t.Helper()
+	cl, err := Start(fastConfig(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const dim = 4
+	tasks := makeTasks(421, 24, dim)
+	sc := DialSharded(cl.CoordinatorAddr(), edge.ResilientOptions{
+		Seed: 1, Logger: telemetry.Discard(), WireCodec: pref,
+	})
+	defer sc.Close()
+	for i := 0; i < len(tasks); i += 6 {
+		n, err := sc.BatchReportTasks(tasks[i : i+6])
+		if err != nil {
+			t.Fatalf("batch at %d: %v", i, err)
+		}
+		if n != 6 {
+			t.Fatalf("batch at %d applied %d tasks, want 6", i, n)
+		}
+	}
+	codecs := sc.Codecs()
+	if !cl.Quiesce(10 * time.Second) {
+		t.Fatal("cluster did not quiesce")
+	}
+	fresh := DialSharded(cl.CoordinatorAddr(), edge.ResilientOptions{
+		Seed: 2, Logger: telemetry.Discard(), WireCodec: pref,
+	})
+	defer fresh.Close()
+	p, err := fresh.FetchMergedPrior(dim)
+	if err != nil {
+		t.Fatalf("merged prior: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("merged prior invalid: %v", err)
+	}
+	return gobBytes(t, p), codecs
+}
+
+// TestClusterCodecsByteIdentical: the same workload shipped over the
+// binary codec and over the gob fallback must converge to
+// byte-identical merged priors — the codec changes the wire format,
+// never the replicated state. Doubles as the mixed-codec matrix at
+// cluster scale: the gob run exercises legacy edges against negotiating
+// servers, the auto run exercises negotiated binary end to end.
+func TestClusterCodecsByteIdentical(t *testing.T) {
+	binaryBytes, binaryCodecs := runCodecScenario(t, wire.PreferAuto)
+	gobPriorBytes, gobCodecs := runCodecScenario(t, wire.PreferGob)
+	if !bytes.Equal(binaryBytes, gobPriorBytes) {
+		t.Fatalf("merged prior differs across codecs (%d vs %d bytes)",
+			len(binaryBytes), len(gobPriorBytes))
+	}
+	if wire.DefaultPreference() == wire.PreferGob {
+		// DRDP_WIRE=gob latches every auto client onto the fallback by
+		// design (the dual-codec chaos matrix), so only the byte-identity
+		// half of this test is meaningful.
+		t.Log("DRDP_WIRE=gob set: skipping connection-codec census")
+	} else if binaryCodecs["binary"] == 0 || binaryCodecs["gob"] != 0 {
+		t.Errorf("auto run connections = %v, want all binary", binaryCodecs)
+	}
+	if gobCodecs["gob"] == 0 || gobCodecs["binary"] != 0 {
+		t.Errorf("gob run connections = %v, want all gob", gobCodecs)
+	}
+}
+
+// TestClusterMixedCodecClients: a gob edge and a binary edge sharing
+// one live cluster see the same state — uploads from either codec land
+// in the same shards and both read paths assemble the same merged
+// prior.
+func TestClusterMixedCodecClients(t *testing.T) {
+	cl, err := Start(fastConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const dim = 4
+	tasks := makeTasks(422, 12, dim)
+	bc := DialSharded(cl.CoordinatorAddr(), edge.ResilientOptions{
+		Seed: 3, Logger: telemetry.Discard(), WireCodec: wire.PreferAuto,
+	})
+	defer bc.Close()
+	gc := DialSharded(cl.CoordinatorAddr(), edge.ResilientOptions{
+		Seed: 4, Logger: telemetry.Discard(), WireCodec: wire.PreferGob,
+	})
+	defer gc.Close()
+
+	// Interleave uploads from both codecs.
+	for i, task := range tasks {
+		c := bc
+		if i%2 == 1 {
+			c = gc
+		}
+		if _, err := c.ReportTask(task); err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	if !cl.Quiesce(10 * time.Second) {
+		t.Fatal("cluster did not quiesce")
+	}
+	bp, err := bc.FetchMergedPrior(dim)
+	if err != nil {
+		t.Fatalf("binary merged fetch: %v", err)
+	}
+	gp, err := gc.FetchMergedPrior(dim)
+	if err != nil {
+		t.Fatalf("gob merged fetch: %v", err)
+	}
+	if !bytes.Equal(gobBytes(t, bp), gobBytes(t, gp)) {
+		t.Error("binary and gob clients fetched different merged priors")
+	}
+}

@@ -4,20 +4,26 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/telemetry"
 	"github.com/drdp/drdp/internal/trace"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 // Client is an edge device's connection to the cloud prior server. It is
-// not safe for concurrent use; give each goroutine its own Client.
+// not safe for concurrent use; give each goroutine its own Client (or
+// share one MuxClient, which is).
 type Client struct {
 	conn    net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
+	codec   wire.Codec
+	enc     *gob.Encoder  // gob stream state (CodecGob)
+	dec     *gob.Decoder  //
+	benc    *wire.Encoder // framed binary state (CodecBinary)
+	bdec    *wire.Decoder //
 	timeout time.Duration // per-round-trip deadline; 0 = none
 	parent  *trace.Span   // trace parent for subsequent round trips
 }
@@ -31,23 +37,149 @@ func (c *Client) SetTraceParent(s *trace.Span) { c.parent = s }
 // zero removes the bound. Protects device loops from a hung cloud.
 func (c *Client) SetRoundTripTimeout(d time.Duration) { c.timeout = d }
 
-// Dial connects to the cloud server at addr with the given timeout
-// (zero means no timeout).
+// Codec reports which codec this connection negotiated.
+func (c *Client) Codec() wire.Codec { return c.codec }
+
+// Dial connects to the cloud server at addr with the given timeout (zero
+// means no timeout), negotiating the wire codec per the process-wide
+// preference (DRDP_WIRE).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialPreference(addr, timeout, wire.DefaultPreference())
+}
+
+// DialPreference connects with an explicit codec preference. PreferAuto
+// sends the negotiation hello and follows the server's choice; a server
+// that predates the handshake kills the connection, and the client
+// redials and speaks pure gob. PreferGob skips negotiation entirely —
+// byte-for-byte the legacy client.
+func DialPreference(addr string, timeout time.Duration, pref wire.Preference) (*Client, error) {
+	conn, err := dialTCP(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if pref == wire.PreferGob {
+		return NewClient(conn), nil
+	}
+	codec, nerr := negotiate(conn, timeout)
+	if nerr != nil {
+		// The hello poisoned the stream (legacy server, or a transport
+		// fault mid-handshake): the only safe recovery is a fresh
+		// connection speaking the universal codec.
+		conn.Close()
+		telemetry.WireNegotiateClientFallback.Inc()
+		conn, err = dialTCP(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return NewClient(conn), nil
+	}
+	if codec == wire.CodecBinary {
+		telemetry.WireNegotiateClientBinary.Inc()
+		return NewBinaryClient(conn), nil
+	}
+	telemetry.WireNegotiateClientGob.Inc()
+	return NewClient(conn), nil
+}
+
+func dialTCP(addr string, timeout time.Duration) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("edge: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	return conn, nil
 }
 
-// NewClient wraps an existing connection (useful with simulated links).
+// negotiate runs the client half of the wire handshake on a fresh
+// connection. Any error means the connection is unusable — the hello is
+// already on the wire — so the caller must close it and fall back to gob
+// on a new dial.
+func negotiate(conn net.Conn, timeout time.Duration) (wire.Codec, error) {
+	if timeout <= 0 {
+		timeout = wire.DefaultNegotiateTimeout
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return wire.CodecGob, err
+	}
+	defer conn.SetDeadline(time.Time{})
+	if err := wire.WriteHello(conn, wire.CodecBinary); err != nil {
+		return wire.CodecGob, err
+	}
+	return wire.ReadAck(conn)
+}
+
+// NewClient wraps an existing connection in the gob codec (useful with
+// simulated links, and the fallback half of every negotiation).
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &Client{
+		conn:  conn,
+		codec: wire.CodecGob,
+		enc:   gob.NewEncoder(gobCountWriter{conn}),
+		dec:   gob.NewDecoder(gobCountReader{conn}),
+	}
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// NewBinaryClient wraps a connection that has already negotiated the
+// binary codec (the ack consumed).
+func NewBinaryClient(conn net.Conn) *Client {
+	return &Client{
+		conn:  conn,
+		codec: wire.CodecBinary,
+		benc:  wire.NewEncoder(conn),
+		bdec:  wire.NewDecoder(conn, DefaultMaxFrameBytes),
+	}
+}
+
+// gobCountWriter and gobCountReader attribute gob traffic to the
+// codec-labeled wire counters; the binary framer counts its own.
+type gobCountWriter struct{ w io.Writer }
+
+func (g gobCountWriter) Write(p []byte) (int, error) {
+	n, err := g.w.Write(p)
+	telemetry.WireBytesGobOut.Add(float64(n))
+	return n, err
+}
+
+type gobCountReader struct{ r io.Reader }
+
+func (g gobCountReader) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	telemetry.WireBytesGobIn.Add(float64(n))
+	return n, err
+}
+
+// Close closes the underlying connection and releases pooled codec
+// buffers.
+func (c *Client) Close() error {
+	if c.benc != nil {
+		c.benc.Release()
+	}
+	if c.bdec != nil {
+		c.bdec.Release()
+	}
+	return c.conn.Close()
+}
+
+func (c *Client) writeRequest(req *Request) error {
+	if c.codec == wire.CodecBinary {
+		return c.benc.EncodeRequest(req)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	telemetry.WireMsgsGobOut.Inc()
+	return nil
+}
+
+func (c *Client) readResponse(resp *Response) error {
+	if c.codec == wire.CodecBinary {
+		return c.bdec.DecodeResponse(resp)
+	}
+	if err := c.dec.Decode(resp); err != nil {
+		return err
+	}
+	telemetry.WireMsgsGobIn.Inc()
+	return nil
+}
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	// The nil-parent branch is the common untraced path; keeping span
@@ -55,7 +187,9 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	if c.parent == nil {
 		return c.roundTripUntraced(req)
 	}
-	sp := c.parent.Child("rpc "+req.Kind.String(), trace.Str("peer", c.conn.RemoteAddr().String()))
+	sp := c.parent.Child("rpc "+req.Kind.String(),
+		trace.Str("peer", c.conn.RemoteAddr().String()),
+		trace.Str("codec", c.codec.String()))
 	req.TraceID, req.ParentSpan = sp.WireContext()
 	resp, err := c.roundTripUntraced(req)
 	if err != nil {
@@ -74,11 +208,11 @@ func (c *Client) roundTripUntraced(req *Request) (*Response, error) {
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.writeRequest(req); err != nil {
 		return nil, fmt.Errorf("edge: send %s: %w", req.Kind, err)
 	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := c.readResponse(&resp); err != nil {
 		return nil, fmt.Errorf("edge: receive %s response: %w", req.Kind, err)
 	}
 	if err := errOf(&resp); err != nil {
@@ -179,6 +313,23 @@ func (c *Client) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
 		return 0, err
 	}
 	return resp.Version, nil
+}
+
+// BatchReportTasks uploads a whole round's task posteriors in one framed
+// write. The server appends them in order and acknowledges once, so a
+// K-task round costs one round trip instead of K. Returns the prior
+// version after the batch and the number of tasks applied (short of
+// len(ts) only when the server rejected one mid-batch, in which case the
+// error names the rejection).
+func (c *Client) BatchReportTasks(ts []dpprior.TaskPosterior) (uint64, int, error) {
+	if len(ts) == 0 {
+		return 0, 0, nil
+	}
+	resp, err := c.roundTrip(&Request{Kind: BatchAddTask, Tasks: ts})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Version, resp.BatchDone, nil
 }
 
 // Stats fetches cloud-side counters.

@@ -1,0 +1,265 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/telemetry"
+	"github.com/drdp/drdp/internal/wire"
+)
+
+// muxMaxInflight caps requests awaiting responses on one multiplexed
+// connection; excess callers fail fast instead of queueing unboundedly.
+const muxMaxInflight = 1024
+
+// MuxClient multiplexes concurrent callers over one connection by
+// pipelining requests. The server handles a connection's requests
+// strictly in order, so responses come back in request order and
+// matching them to callers needs only a FIFO queue — no request IDs on
+// the wire, and the protocol stays identical to the sequential one.
+//
+// Unlike Client, a MuxClient is safe for concurrent use: a fleet of
+// device goroutines can share a handful of connections instead of
+// holding one each, and a caller's request goes on the wire immediately
+// even while earlier callers still await their responses. Combined with
+// BatchReportTasks this is the high-fan-in upload path: one frame per
+// round per device, many devices per connection.
+//
+// A transport fault poisons the whole connection (stream state is
+// per-connection in both codecs): every in-flight and later call fails,
+// and the owner redials. There is no internal retry — wrap calls at the
+// fleet layer or use ResilientClient where per-call retry matters.
+type MuxClient struct {
+	conn  net.Conn
+	codec wire.Codec
+
+	// wmu serializes request write + waiter enqueue, so queue order
+	// always matches wire order.
+	wmu  sync.Mutex
+	enc  *wire.Encoder
+	genc *gob.Encoder
+	dead error // set once the connection is poisoned
+
+	pending chan chan muxResult
+
+	dec  *wire.Decoder
+	gdec *gob.Decoder
+
+	readerDone sync.WaitGroup
+}
+
+type muxResult struct {
+	resp *Response
+	err  error
+}
+
+// DialMux connects to addr, negotiates the wire codec per pref, and
+// returns a multiplexed client ready for concurrent callers.
+func DialMux(addr string, timeout time.Duration, pref wire.Preference) (*MuxClient, error) {
+	conn, err := dialTCP(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if pref != wire.PreferGob {
+		codec, nerr := negotiate(conn, timeout)
+		if nerr == nil {
+			if codec == wire.CodecBinary {
+				telemetry.WireNegotiateClientBinary.Inc()
+			} else {
+				telemetry.WireNegotiateClientGob.Inc()
+			}
+			return NewMuxClient(conn, codec), nil
+		}
+		conn.Close()
+		telemetry.WireNegotiateClientFallback.Inc()
+		if conn, err = dialTCP(addr, timeout); err != nil {
+			return nil, err
+		}
+	}
+	return NewMuxClient(conn, wire.CodecGob), nil
+}
+
+// NewMuxClient wraps a connection whose codec is already settled
+// (negotiation ack consumed for binary, nothing sent for gob) and
+// starts the response reader.
+func NewMuxClient(conn net.Conn, codec wire.Codec) *MuxClient {
+	m := &MuxClient{
+		conn:    conn,
+		codec:   codec,
+		pending: make(chan chan muxResult, muxMaxInflight),
+	}
+	if codec == wire.CodecBinary {
+		m.enc = wire.NewEncoder(conn)
+		m.dec = wire.NewDecoder(conn, DefaultMaxFrameBytes)
+	} else {
+		m.genc = gob.NewEncoder(gobCountWriter{conn})
+		m.gdec = gob.NewDecoder(gobCountReader{conn})
+	}
+	m.readerDone.Add(1)
+	go m.readLoop()
+	return m
+}
+
+// Codec reports the connection's negotiated codec.
+func (m *MuxClient) Codec() wire.Codec { return m.codec }
+
+// Close poisons the connection: every in-flight call fails with a
+// closed-connection error and the reader exits.
+func (m *MuxClient) Close() error {
+	m.fail(errors.New("edge: mux: client closed"))
+	m.readerDone.Wait()
+	return nil
+}
+
+// fail marks the client dead (first error wins), closes the connection,
+// and drains every queued waiter with the error.
+func (m *MuxClient) fail(err error) {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if m.dead == nil {
+		m.dead = err
+		m.conn.Close() // unblocks the reader
+	}
+	for {
+		select {
+		case ch := <-m.pending:
+			ch <- muxResult{err: m.dead}
+		default:
+			return
+		}
+	}
+}
+
+func (m *MuxClient) readLoop() {
+	defer m.readerDone.Done()
+	for {
+		// A fresh Response per iteration: callers retain the payloads, so
+		// decode must not reuse buffers across messages.
+		resp := new(Response)
+		var err error
+		if m.codec == wire.CodecBinary {
+			err = m.dec.DecodeResponse(resp)
+		} else {
+			err = m.gdec.Decode(resp)
+			if err == nil {
+				telemetry.WireMsgsGobIn.Inc()
+			}
+		}
+		if err != nil {
+			m.fail(fmt.Errorf("edge: mux: receive: %w", err))
+			return
+		}
+		select {
+		case ch := <-m.pending:
+			ch <- muxResult{resp: resp}
+		default:
+			// A response nobody asked for: the streams are desynchronized
+			// and no later pairing can be trusted.
+			m.fail(errors.New("edge: mux: response without a pending request"))
+			return
+		}
+	}
+}
+
+func (m *MuxClient) roundTrip(req *Request) (*Response, error) {
+	ch := make(chan muxResult, 1)
+	m.wmu.Lock()
+	if m.dead != nil {
+		err := m.dead
+		m.wmu.Unlock()
+		return nil, err
+	}
+	select {
+	case m.pending <- ch:
+	default:
+		m.wmu.Unlock()
+		return nil, fmt.Errorf("edge: mux: more than %d requests in flight", muxMaxInflight)
+	}
+	var err error
+	if m.codec == wire.CodecBinary {
+		err = m.enc.EncodeRequest(req)
+	} else {
+		err = m.genc.Encode(req)
+		if err == nil {
+			telemetry.WireMsgsGobOut.Inc()
+		}
+	}
+	m.wmu.Unlock()
+	if err != nil {
+		// The waiter is already queued; poisoning the connection fails it
+		// (and everyone behind it) through the reader's drain.
+		m.fail(fmt.Errorf("edge: mux: send %s: %w", req.Kind, err))
+	}
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	if err := errOf(res.resp); err != nil {
+		return nil, err
+	}
+	return res.resp, nil
+}
+
+// FetchPrior downloads and validates the current prior. See
+// Client.FetchPrior.
+func (m *MuxClient) FetchPrior(dim int) (*dpprior.Prior, uint64, error) {
+	resp, err := m.roundTrip(&Request{Kind: GetPrior, Dim: dim})
+	if err != nil {
+		return nil, 0, err
+	}
+	return priorOf(resp, false)
+}
+
+// FetchPriorIfNewer is the conditional fetch. See Client.FetchPriorIfNewer.
+func (m *MuxClient) FetchPriorIfNewer(dim int, knownVersion uint64) (*dpprior.Prior, uint64, error) {
+	resp, err := m.roundTrip(&Request{Kind: GetPrior, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return priorOf(resp, true)
+}
+
+// FetchPriorDelta is the delta refresh. See Client.FetchPriorDelta.
+func (m *MuxClient) FetchPriorDelta(dim int, knownVersion uint64, old *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	resp, err := m.roundTrip(&Request{Kind: GetPriorDelta, Dim: dim, KnownVersion: knownVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return deltaPriorOf(resp, old)
+}
+
+// ReportTask uploads one task posterior. See Client.ReportTask.
+func (m *MuxClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
+	resp, err := m.roundTrip(&Request{Kind: ReportTask, Task: &t})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// BatchReportTasks ships a round's posteriors in one framed write. See
+// Client.BatchReportTasks.
+func (m *MuxClient) BatchReportTasks(ts []dpprior.TaskPosterior) (uint64, int, error) {
+	if len(ts) == 0 {
+		return 0, 0, nil
+	}
+	resp, err := m.roundTrip(&Request{Kind: BatchAddTask, Tasks: ts})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Version, resp.BatchDone, nil
+}
+
+// Stats fetches cloud-side counters.
+func (m *MuxClient) Stats() (Stats, error) {
+	resp, err := m.roundTrip(&Request{Kind: GetStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	return resp.Stats, nil
+}

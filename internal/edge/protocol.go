@@ -4,13 +4,23 @@
 // models the latency/bandwidth profiles of typical edge uplinks for the
 // systems-cost experiments.
 //
-// The protocol is length-free gob framing over TCP: each connection runs
-// a sequence of (Request, Response) gob values. It is deliberately small —
-// three RPCs carry the entire knowledge-transfer loop of the paper:
+// The protocol runs a sequence of (Request, Response) exchanges over TCP,
+// serialized by one of two codecs negotiated per connection (see
+// internal/wire): the fixed-layout binary codec frames every message as
+// [length][CRC32][payload] with the length checked against MaxFrameBytes
+// before allocation and the CRC before decoding; the gob fallback streams
+// gob values through a limit-enforcing reader that fails the connection
+// the moment a frame exceeds the same budget. A binary-capable client
+// opens with a gob-compatible hello; servers that understand it ack a
+// codec, servers that predate it choke on the hello and the client
+// redials pure gob — so old edges against new servers and new edges
+// against old servers both interoperate. The op set is deliberately
+// small; four RPCs carry the entire knowledge-transfer loop of the paper:
 //
 //	GetPrior:      edge  → cloud   "give me the current prior for dim d"
 //	GetPriorDelta: edge  → cloud   "I hold version v; send me what changed"
 //	ReportTask:    edge  → cloud   "here is my solved task's posterior"
+//	BatchAddTask:  edge  → cloud   "here is my whole round, in one frame"
 //
 // The server persists reported tasks in an append-only store
 // (internal/store) and rebuilds the prior in a background worker, so
@@ -19,9 +29,10 @@
 //
 // # Failure model
 //
-// Because gob encoder/decoder state is per-connection, any I/O error
-// bricks a Client: the resilient layer treats every transport fault as
-// fatal to the session and recovers by redialing. The layers compose:
+// Because codec stream state is per-connection (gob's encoder/decoder
+// state especially), any I/O error bricks a Client: the resilient layer
+// treats every transport fault as fatal to the session and recovers by
+// redialing. The layers compose:
 //
 //   - ResilientClient retries transport faults (dial errors, broken or
 //     timed-out streams) under a RetryPolicy with exponential backoff and
@@ -36,8 +47,9 @@
 //     underlying fetch/report errors are reported truthfully in
 //     RunStatus, never swallowed.
 //   - CloudServer survives misbehaving peers: per-connection panic
-//     recovery, a per-frame decode size limit (MaxFrameBytes), and idle
-//     read deadlines (IdleTimeout) that reclaim silent connections.
+//     recovery, a per-frame size limit (MaxFrameBytes) enforced in both
+//     codecs, and idle read deadlines (IdleTimeout) that reclaim silent
+//     connections.
 //
 // FaultConfig provides a deterministic fault-injection net.Conn wrapper
 // (drops, resets, partial writes, corruption, delays) for driving the
@@ -49,173 +61,51 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/drdp/drdp/internal/dpprior"
-	"github.com/drdp/drdp/internal/store"
+	"github.com/drdp/drdp/internal/wire"
 )
 
-// RequestKind enumerates protocol operations.
-type RequestKind int
+// The protocol message types and shard-map routing moved to
+// internal/wire so the codec layer and every tier share one definition;
+// the aliases keep the package's historical API (and the gob stream,
+// which identifies structs by bare type name) unchanged.
+type (
+	// RequestKind enumerates protocol operations.
+	RequestKind = wire.RequestKind
+	// Request is the client→server message.
+	Request = wire.Request
+	// RespCode classifies server-side failures.
+	RespCode = wire.RespCode
+	// Response is the server→client message.
+	Response = wire.Response
+	// Stats are cloud-side counters.
+	Stats = wire.Stats
+	// ShardMap is the cluster topology an edge needs to route requests.
+	ShardMap = wire.ShardMap
+	// ShardReplicas is one shard's replica set.
+	ShardReplicas = wire.ShardReplicas
+)
 
 // Protocol operations.
 const (
-	// GetPrior asks the cloud for the current DP prior.
-	GetPrior RequestKind = iota + 1
-	// ReportTask uploads a solved task posterior for incorporation.
-	ReportTask
-	// GetStats asks for cloud-side counters (task count, prior version).
-	GetStats
-	// GetPriorDelta asks for the difference between the prior at
-	// KnownVersion (which the client holds) and the current prior. The
-	// server answers with a component-level delta when it still retains
-	// that version and the delta beats the full prior on the wire;
-	// otherwise it falls back to the full prior. NotModified when the
-	// client is already current.
-	GetPriorDelta
-	// PullLog is the replication stream: a follower asks its leader for
-	// the log frames after AfterSeq (the follower's durable version, which
-	// doubles as its fsync-gated acknowledgement) plus the current verdict
-	// sidecar. The leader records the ack before answering, so semi-sync
-	// appends can wait on it.
-	PullLog
-	// GetShardMap asks the coordinator for the current shard map.
-	// KnownVersion makes it conditional, like GetPrior: an unchanged map
-	// costs a handshake, not a payload.
-	GetShardMap
+	GetPrior      = wire.GetPrior
+	ReportTask    = wire.ReportTask
+	GetStats      = wire.GetStats
+	GetPriorDelta = wire.GetPriorDelta
+	PullLog       = wire.PullLog
+	GetShardMap   = wire.GetShardMap
+	BatchAddTask  = wire.BatchAddTask
 )
-
-// String names the request kind.
-func (k RequestKind) String() string {
-	switch k {
-	case GetPrior:
-		return "get-prior"
-	case ReportTask:
-		return "report-task"
-	case GetStats:
-		return "get-stats"
-	case GetPriorDelta:
-		return "get-prior-delta"
-	case PullLog:
-		return "pull-log"
-	case GetShardMap:
-		return "get-shard-map"
-	default:
-		return fmt.Sprintf("RequestKind(%d)", int(k))
-	}
-}
-
-// Request is the client→server message.
-type Request struct {
-	Kind RequestKind
-	// Dim is the parameter dimensionality the edge expects (GetPrior);
-	// the server rejects mismatches instead of shipping a useless prior.
-	Dim int
-	// KnownVersion enables conditional fetch (GetPrior) and delta sync
-	// (GetPriorDelta): it names the prior version the client already
-	// holds. When the cloud's prior version still equals it, the server
-	// answers NotModified with no payload — the refresh costs a handshake
-	// instead of the prior. For GetPriorDelta it is additionally the base
-	// version the returned delta patches.
-	KnownVersion uint64
-	// Task carries the uploaded posterior for ReportTask.
-	Task *dpprior.TaskPosterior
-	// MinVersion is the read-your-writes floor for GetPrior/GetPriorDelta
-	// against a replica: the highest prior version this edge has already
-	// applied. A replica whose built prior is older answers CodeLagging
-	// instead of serving a prior the edge would have to roll back to.
-	// Zero disables the gate.
-	MinVersion uint64
-	// FollowerID identifies the pulling replica on PullLog, so the leader
-	// can track per-follower acknowledgements for semi-sync appends.
-	FollowerID int
-	// AfterSeq, for PullLog, is the follower's durable store version: the
-	// leader streams frames strictly above it. Because the follower only
-	// advances its version after an fsync, AfterSeq is also its
-	// acknowledgement of everything at or below.
-	AfterSeq uint64
-	// MaxFrames caps one PullLog batch (0 = server default).
-	MaxFrames int
-	// TraceID and ParentSpan propagate distributed-trace context
-	// (internal/trace). Zero means untraced — the server allocates no
-	// spans — and is what every pre-trace client sends, so old clients
-	// and new servers (and vice versa) stay gob-compatible: gob decoders
-	// ignore unknown fields and leave missing ones at their zero value.
-	TraceID    uint64
-	ParentSpan uint64
-}
-
-// RespCode classifies server-side failures so clients can tell a
-// legitimate condition (cold cloud) from a real rejection without
-// string-matching across the wire.
-type RespCode int
 
 // Response codes.
 const (
-	// CodeOK is the zero value: no error.
-	CodeOK RespCode = iota
-	// CodeNoTasks means the cloud has no prior yet — a normal cold start,
-	// not a fault; devices should train locally and try again later.
-	CodeNoTasks
-	// CodeBadRequest covers validation rejections (dim mismatch,
-	// malformed task). Retrying the identical request cannot succeed.
-	CodeBadRequest
-	// CodeInternal covers unexpected server-side failures.
-	CodeInternal
-	// CodeOverloaded means the server shed the request to protect itself
-	// (connection limit reached or handler deadline exceeded). Unlike the
-	// other rejections it is retryable: the same request is expected to
-	// succeed once load drains, so ResilientClient backs off and retries
-	// instead of failing.
-	CodeOverloaded
-	// CodeNotLeader means a write (ReportTask) or replication pull reached
-	// a follower replica. Not retryable against the same node: the cluster
-	// client re-resolves the shard map and redirects to the leader.
-	CodeNotLeader
-	// CodeLagging means this replica's built prior is older than the
-	// Request.MinVersion floor the edge already holds. Not retryable
-	// against the same node; the cluster client falls through to the
-	// shard leader (or keeps its cached prior).
-	CodeLagging
+	CodeOK         = wire.CodeOK
+	CodeNoTasks    = wire.CodeNoTasks
+	CodeBadRequest = wire.CodeBadRequest
+	CodeInternal   = wire.CodeInternal
+	CodeOverloaded = wire.CodeOverloaded
+	CodeNotLeader  = wire.CodeNotLeader
+	CodeLagging    = wire.CodeLagging
 )
-
-// Response is the server→client message. Err is non-empty on failure
-// (gob cannot carry error values faithfully across processes); Code
-// classifies it.
-type Response struct {
-	Err   string
-	Code  RespCode
-	Prior *dpprior.Prior
-	// Delta, for GetPriorDelta, patches the prior at Request.KnownVersion
-	// up to Version; exactly one of Prior/Delta is set on a successful
-	// prior response with a payload.
-	Delta   *dpprior.PriorDelta
-	Stats   Stats
-	Version uint64 // prior version at the time of the response
-	// NotModified reports that the client's KnownVersion is current and
-	// no prior payload was shipped.
-	NotModified bool
-	// Frames is the PullLog payload: verbatim log frames after AfterSeq.
-	Frames []store.Frame
-	// VerdictMap, on PullLog, replicates the leader's admission verdict
-	// sidecar (seq → quarantined) so a promoted follower keeps every
-	// quarantine decision.
-	VerdictMap map[uint64]bool
-	// UpTo, on PullLog, is the leader's store version at answer time; the
-	// follower's lag is UpTo minus its own version.
-	UpTo uint64
-	// Map is the GetShardMap payload.
-	Map *ShardMap
-}
-
-// Stats are cloud-side counters.
-type Stats struct {
-	Tasks        int    // task posteriors incorporated so far
-	PriorVersion uint64 // bumped on every rebuild
-	Components   int    // components in the current prior
-	WireBytes    int    // approximate serialized prior size
-	Accepted     int    // tasks admitted into the served prior
-	Quarantined  int    // tasks held out of the prior by the admission judge
-	Rejected     int    // uploads refused by semantic validation
-}
 
 // ErrNoPrior reports that the cloud legitimately has no prior yet (no
 // tasks reported). It is a normal cold-start condition, not a transport

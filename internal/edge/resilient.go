@@ -11,6 +11,7 @@ import (
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/telemetry"
 	"github.com/drdp/drdp/internal/trace"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 // ResilientOptions configures a ResilientClient.
@@ -34,6 +35,13 @@ type ResilientOptions struct {
 	// the default handler (stderr, WARN level) so real transport trouble
 	// is visible out of the box; pass telemetry.Discard() to silence.
 	Logger *slog.Logger
+	// WireCodec is the dial-time codec preference. The zero value
+	// (wire.PreferAuto) negotiates for the binary codec and falls back to
+	// gob against servers that predate the handshake; wire.PreferGob
+	// skips negotiation entirely. Construction reads DRDP_WIRE when the
+	// caller leaves this at auto, so the dual-codec test matrix needs no
+	// plumbing.
+	WireCodec wire.Preference
 }
 
 // TransportStats counts what the resilience machinery actually did —
@@ -72,6 +80,11 @@ type ResilientClient struct {
 	c      *Client // current session; nil when disconnected
 	stats  TransportStats
 	parent *trace.Span // trace parent for subsequent calls
+
+	// gobOnly latches after a failed handshake: the server evidently
+	// predates negotiation, so later redials skip the hello instead of
+	// paying a doomed extra dial every reconnect.
+	gobOnly bool
 }
 
 // SetTraceParent sets the span under which subsequent calls record their
@@ -124,13 +137,17 @@ func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) *R
 			userCB(from, to)
 		}
 	}
+	if opts.WireCodec == wire.PreferAuto {
+		opts.WireCodec = wire.DefaultPreference()
+	}
 	return &ResilientClient{
-		dial:   dial,
-		opts:   opts,
-		rng:    rand.New(rand.NewSource(seed)),
-		br:     newBreaker(brCfg, nil),
-		logger: logger,
-		sleep:  time.Sleep,
+		dial:    dial,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(seed)),
+		br:      newBreaker(brCfg, nil),
+		logger:  logger,
+		sleep:   time.Sleep,
+		gobOnly: opts.WireCodec == wire.PreferGob,
 	}
 }
 
@@ -152,8 +169,24 @@ func (r *ResilientClient) TransportStats() TransportStats {
 	return st
 }
 
+// Codec reports the current session's negotiated codec; a disconnected
+// client reports what its next session would open with (gob once the
+// fallback latch is set, binary otherwise).
+func (r *ResilientClient) Codec() wire.Codec {
+	if r.c != nil {
+		return r.c.Codec()
+	}
+	if r.gobOnly {
+		return wire.CodecGob
+	}
+	return wire.CodecBinary
+}
+
 // connect ensures a live session, dialing if necessary, and points the
 // session at the current call span so its rpc spans nest correctly.
+// Unless the gob latch is set, a fresh connection negotiates the wire
+// codec; a server that chokes on the hello costs one extra dial, sets
+// the latch, and every later reconnect speaks gob directly.
 func (r *ResilientClient) connect(call *trace.Span) error {
 	if r.c != nil {
 		r.c.SetTraceParent(call)
@@ -167,13 +200,40 @@ func (r *ResilientClient) connect(call *trace.Span) error {
 		sp.EndErr(err)
 		return err
 	}
-	sp.SetAttr(trace.Str("peer", conn.RemoteAddr().String()))
+	wrap := func(c net.Conn) countConn {
+		return countConn{Conn: c, sent: telemetry.EdgeClientSent, recv: telemetry.EdgeClientReceived}
+	}
+	var c *Client
+	if r.gobOnly {
+		c = NewClient(wrap(conn))
+	} else {
+		codec, nerr := negotiate(conn, r.opts.DialTimeout)
+		switch {
+		case nerr != nil:
+			// Legacy server (or a fault mid-handshake): the hello poisoned
+			// the stream, so redial and fall back to the universal codec.
+			conn.Close()
+			telemetry.WireNegotiateClientFallback.Inc()
+			r.gobOnly = true
+			sp.Event("gob-fallback", trace.Err(nerr))
+			r.logger.Info("edge: wire negotiation failed; falling back to gob", "err", nerr)
+			conn, err = r.dial()
+			if err != nil {
+				sp.EndErr(err)
+				return err
+			}
+			c = NewClient(wrap(conn))
+		case codec == wire.CodecBinary:
+			telemetry.WireNegotiateClientBinary.Inc()
+			c = NewBinaryClient(wrap(conn))
+		default:
+			telemetry.WireNegotiateClientGob.Inc()
+			c = NewClient(wrap(conn))
+		}
+	}
+	sp.SetAttr(trace.Str("peer", conn.RemoteAddr().String()),
+		trace.Str("codec", c.Codec().String()))
 	sp.End()
-	c := NewClient(countConn{
-		Conn: conn,
-		sent: telemetry.EdgeClientSent,
-		recv: telemetry.EdgeClientReceived,
-	})
 	c.SetRoundTripTimeout(r.opts.RoundTripTimeout)
 	c.SetTraceParent(call)
 	r.c = c
@@ -321,6 +381,22 @@ func (r *ResilientClient) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
 		return 0, err
 	}
 	return resp.Version, nil
+}
+
+// BatchReportTasks uploads a whole round's task posteriors in one framed
+// write, retrying transport faults. Retries are safe when the server
+// runs upload dedupe (cluster nodes do): tasks that landed before an
+// ambiguous failure ack without a second append. See
+// Client.BatchReportTasks.
+func (r *ResilientClient) BatchReportTasks(ts []dpprior.TaskPosterior) (uint64, int, error) {
+	if len(ts) == 0 {
+		return 0, 0, nil
+	}
+	resp, err := r.do(&Request{Kind: BatchAddTask, Tasks: ts})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Version, resp.BatchDone, nil
 }
 
 // FetchPriorDeltaMin is FetchPriorDelta with a read-your-writes floor:

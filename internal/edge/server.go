@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
 	"github.com/drdp/drdp/internal/trace"
+	"github.com/drdp/drdp/internal/wire"
 )
 
 // Server-hardening defaults.
@@ -341,6 +343,43 @@ func (s *CloudServer) addTask(t dpprior.TaskPosterior, sp *trace.Span) (uint64, 
 		aw.End()
 	}
 	return v, nil
+}
+
+// addTasks appends a round's tasks in upload order, then pays the
+// cross-cutting costs once for the whole batch: one rebuild kick and —
+// under semi-sync replication — one quorum wait on the final version,
+// instead of per task. A validation rejection stops the batch; the tasks
+// already appended stay appended (they are durable) and the returned
+// count tells the client exactly where the batch stopped. Retrying a
+// batch is safe under upload dedupe: already-stored tasks ack without a
+// second append.
+func (s *CloudServer) addTasks(ts []dpprior.TaskPosterior, sp *trace.Span) (uint64, int, error) {
+	ap := sp.Child("store-append-batch", trace.Int("tasks", int64(len(ts))))
+	var version uint64
+	done := 0
+	var err error
+	for i := range ts {
+		var v uint64
+		if v, err = s.appendTask(ts[i]); err != nil {
+			err = fmt.Errorf("batch task %d: %w", i, err)
+			break
+		}
+		version = v
+		done++
+	}
+	if done == 0 {
+		ap.EndErr(err)
+		return 0, 0, err
+	}
+	ap.SetAttr(trace.Int("version", int64(version)))
+	ap.EndErr(err)
+	s.kickRebuild()
+	if s.syncReplicas.Load() > 0 && !s.IsFollower() {
+		aw := sp.Child("ack-wait", trace.Int("version", int64(version)))
+		s.waitAcked(version)
+		aw.End()
+	}
+	return version, done, err
 }
 
 // kickRebuild signals the worker; a signal is already pending when the
@@ -751,13 +790,17 @@ func (s *CloudServer) shed(conn net.Conn) {
 		return
 	}
 	cc := countConn{Conn: conn, sent: telemetry.ServerSent, recv: telemetry.ServerReceived}
-	lim := &limitedConnReader{r: cc, max: s.MaxFrameBytes}
-	lim.reset()
-	var req Request
-	if err := gob.NewDecoder(lim).Decode(&req); err != nil {
+	br := bufio.NewReader(cc)
+	sc, err := s.negotiateCodec(conn, cc, br)
+	if err != nil {
 		return
 	}
-	_ = gob.NewEncoder(cc).Encode(&Response{
+	defer sc.release()
+	var req Request
+	if err := sc.readRequest(&req); err != nil {
+		return
+	}
+	_ = sc.writeResponse(&Response{
 		Err:  "server overloaded: connection limit reached",
 		Code: CodeOverloaded,
 	})
@@ -843,6 +886,89 @@ func (l *limitedConnReader) Read(p []byte) (int, error) {
 
 func (l *limitedConnReader) reset() { l.remaining = l.max }
 
+// serverCodec is one connection's negotiated request/response codec.
+type serverCodec interface {
+	readRequest(req *Request) error
+	writeResponse(resp *Response) error
+	codec() wire.Codec
+	release()
+}
+
+// gobServerCodec is the fallback: a gob stream through the per-frame
+// limit reader, exactly the pre-negotiation server.
+type gobServerCodec struct {
+	lim *limitedConnReader
+	dec *gob.Decoder
+	enc *gob.Encoder
+}
+
+func (g *gobServerCodec) readRequest(req *Request) error {
+	g.lim.reset()
+	if err := g.dec.Decode(req); err != nil {
+		return err
+	}
+	telemetry.WireMsgsGobIn.Inc()
+	return nil
+}
+
+func (g *gobServerCodec) writeResponse(resp *Response) error {
+	if err := g.enc.Encode(resp); err != nil {
+		return err
+	}
+	telemetry.WireMsgsGobOut.Inc()
+	return nil
+}
+
+func (g *gobServerCodec) codec() wire.Codec { return wire.CodecGob }
+func (g *gobServerCodec) release()          {}
+
+// binaryServerCodec frames messages with the fixed-layout codec; the
+// frame limit is enforced by the wire decoder before allocation.
+type binaryServerCodec struct {
+	dec *wire.Decoder
+	enc *wire.Encoder
+}
+
+func (b *binaryServerCodec) readRequest(req *Request) error     { return b.dec.DecodeRequest(req) }
+func (b *binaryServerCodec) writeResponse(resp *Response) error { return b.enc.EncodeResponse(resp) }
+func (b *binaryServerCodec) codec() wire.Codec                  { return wire.CodecBinary }
+func (b *binaryServerCodec) release()                           { b.dec.Release(); b.enc.Release() }
+
+// negotiateCodec picks the connection's codec from its first bytes: a
+// hello gets an ack (honoring the client's preference) and the binary
+// framer; anything else is a legacy gob client whose peeked bytes flow
+// unchanged into the gob decoder. The caller must have armed a read
+// deadline if it wants the sniff bounded.
+func (s *CloudServer) negotiateCodec(conn net.Conn, cc countConn, br *bufio.Reader) (serverCodec, error) {
+	if wire.SniffHello(br) {
+		prefer, _, err := wire.ReadHello(br)
+		if err != nil {
+			return nil, err
+		}
+		chosen := wire.CodecBinary
+		if prefer == wire.CodecGob {
+			chosen = wire.CodecGob
+		}
+		if err := wire.WriteAck(cc, chosen); err != nil {
+			return nil, err
+		}
+		if chosen == wire.CodecBinary {
+			telemetry.WireNegotiateServerBinary.Inc()
+			return &binaryServerCodec{
+				dec: wire.NewDecoder(br, s.MaxFrameBytes),
+				enc: wire.NewEncoder(cc),
+			}, nil
+		}
+		telemetry.WireNegotiateServerGob.Inc()
+	}
+	lim := &limitedConnReader{r: gobCountReader{br}, max: s.MaxFrameBytes}
+	return &gobServerCodec{
+		lim: lim,
+		dec: gob.NewDecoder(lim),
+		enc: gob.NewEncoder(gobCountWriter{cc}),
+	}, nil
+}
+
 func (s *CloudServer) handle(conn net.Conn) {
 	defer conn.Close()
 	// A panicking handler must cost one connection, not the fleet's cloud.
@@ -854,11 +980,20 @@ func (s *CloudServer) handle(conn net.Conn) {
 		}
 	}()
 	cc := countConn{Conn: conn, sent: telemetry.ServerSent, recv: telemetry.ServerReceived}
-	lim := &limitedConnReader{r: cc, max: s.MaxFrameBytes}
-	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(cc)
+	br := bufio.NewReader(cc)
+	// The codec sniff is this connection's first read; arm the idle
+	// deadline first so a silent peer cannot pin the goroutine in it.
+	if s.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return
+		}
+	}
+	sc, err := s.negotiateCodec(conn, cc, br)
+	if err != nil {
+		return
+	}
+	defer sc.release()
 	for {
-		lim.reset()
 		if s.IdleTimeout > 0 {
 			// A peer that goes silent must not pin this goroutine forever.
 			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
@@ -866,7 +1001,7 @@ func (s *CloudServer) handle(conn net.Conn) {
 			}
 		}
 		var req Request
-		if err := dec.Decode(&req); err != nil {
+		if err := sc.readRequest(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
 				telemetry.ServerDecodeErrors.Inc()
 				s.logger.Warn("edge: decode request failed",
@@ -880,7 +1015,8 @@ func (s *CloudServer) handle(conn net.Conn) {
 		var sp *trace.Span
 		if req.TraceID != 0 {
 			sp = s.traceRecorder().Join(req.TraceID, req.ParentSpan,
-				"serve "+req.Kind.String(), trace.Str("node", s.NodeName()))
+				"serve "+req.Kind.String(), trace.Str("node", s.NodeName()),
+				trace.Str("codec", sc.codec().String()))
 		}
 		resp := s.serveRequest(&req, sp)
 		sp.EndErr(errOf(resp))
@@ -890,7 +1026,7 @@ func (s *CloudServer) handle(conn net.Conn) {
 		if sp != nil {
 			telemetry.RecordExemplar("drdp_edge_server_request_seconds", sp.TraceID().String(), served)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := sc.writeResponse(resp); err != nil {
 			s.logger.Warn("edge: encode response failed",
 				"remote", conn.RemoteAddr().String(), "err", err)
 			return
@@ -1034,6 +1170,20 @@ func (s *CloudServer) dispatch(req *Request, sp *trace.Span) *Response {
 			return &Response{Err: err.Error(), Code: CodeBadRequest}
 		}
 		return &Response{Version: version}
+	case BatchAddTask:
+		if len(req.Tasks) == 0 {
+			return &Response{Err: "batch-add-task: empty batch", Code: CodeBadRequest}
+		}
+		if s.IsFollower() {
+			telemetry.ServerNotLeader.Inc()
+			sp.Event("not-leader")
+			return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
+		}
+		version, done, err := s.addTasks(req.Tasks, sp)
+		if err != nil {
+			return &Response{Err: err.Error(), Code: CodeBadRequest, Version: version, BatchDone: done}
+		}
+		return &Response{Version: version, BatchDone: done}
 	case PullLog:
 		return s.servePullLog(req, sp)
 	case GetStats:

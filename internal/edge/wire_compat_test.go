@@ -1,0 +1,406 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/wire"
+)
+
+// The mixed-codec interop matrix. The wire subsystem promises that
+// every pairing of negotiating and legacy peers works:
+//
+//	new client ↔ new server  → binary (negotiated)
+//	old client ↔ new server  → gob    (server sniffs, no hello seen)
+//	new client ↔ old server  → gob    (hello refused, client redials)
+//	old client ↔ old server  → gob    (the original protocol)
+//
+// and that both codecs carry byte-identical payloads.
+
+// startLegacyGobServer emulates a pre-negotiation cloud: a raw gob
+// decode loop with no hello sniffing, so a negotiation hello reaches
+// the gob decoder as a malformed message and kills the connection —
+// exactly how an old binary would behave.
+func startLegacyGobServer(t *testing.T, seed []dpprior.TaskPosterior) (string, *CloudServer) {
+	t.Helper()
+	srv, err := NewCloudServer(seed, dpprior.BuildOptions{Alpha: 1, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req Request
+					if dec.Decode(&req) != nil {
+						return // a hello lands here as a gob error
+					}
+					if enc.Encode(srv.dispatch(&req, nil)) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), srv
+}
+
+// TestNegotiatedBinaryAgainstServer: a preference-auto dial against a
+// negotiating server settles on binary and serves the full RPC surface.
+func TestNegotiatedBinaryAgainstServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	addr, _ := startServer(t, seedTasks(rng, 5, 4))
+	c, err := DialPreference(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Codec() != wire.CodecBinary {
+		t.Fatalf("negotiated codec %v, want binary", c.Codec())
+	}
+	prior, version, err := c.FetchPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version == 0 || prior.Dim != 4 {
+		t.Fatalf("binary fetch: version=%d dim=%d", version, prior.Dim)
+	}
+	if _, err := c.ReportTask(seedTasks(rng, 1, 4)[0]); err != nil {
+		t.Fatalf("binary report: %v", err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("binary stats: %v", err)
+	}
+}
+
+// TestGobClientAgainstNegotiatingServer: an old edge (pure gob, no
+// hello) against a new server works unchanged — the server sniffs, sees
+// no magic, and speaks gob.
+func TestGobClientAgainstNegotiatingServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	addr, _ := startServer(t, seedTasks(rng, 5, 4))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn) // byte-for-byte the pre-negotiation client
+	defer c.Close()
+	if c.Codec() != wire.CodecGob {
+		t.Fatalf("legacy client codec %v, want gob", c.Codec())
+	}
+	prior, _, err := c.FetchPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prior.Validate(); err != nil {
+		t.Errorf("prior over legacy gob invalid: %v", err)
+	}
+	if _, err := c.ReportTask(seedTasks(rng, 1, 4)[0]); err != nil {
+		t.Errorf("report over legacy gob: %v", err)
+	}
+}
+
+// TestBinaryClientFallsBackToLegacyGobServer: a new edge against an old
+// server has its hello refused, redials, and completes over pure gob.
+func TestBinaryClientFallsBackToLegacyGobServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	addr, _ := startLegacyGobServer(t, seedTasks(rng, 5, 4))
+	c, err := DialPreference(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Codec() != wire.CodecGob {
+		t.Fatalf("fallback codec %v, want gob", c.Codec())
+	}
+	prior, _, err := c.FetchPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prior.Validate(); err != nil {
+		t.Errorf("prior after fallback invalid: %v", err)
+	}
+}
+
+// TestResilientClientLatchesGobFallback: the resilient client's first
+// failed handshake latches gob-only, so reconnects do not burn a doomed
+// negotiation dial each time.
+func TestResilientClientLatchesGobFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	addr, _ := startLegacyGobServer(t, seedTasks(rng, 4, 3))
+	rc := DialResilient(addr, ResilientOptions{})
+	defer rc.Close()
+	if _, _, err := rc.FetchPrior(3); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Codec() != wire.CodecGob {
+		t.Fatalf("resilient codec %v, want gob after fallback", rc.Codec())
+	}
+	if !rc.gobOnly {
+		t.Error("failed handshake did not latch gobOnly")
+	}
+}
+
+// TestCodecsServeIdenticalPriors: the same server state fetched over
+// binary and over gob must produce deeply equal priors — the codec is
+// an encoding, never a transformation.
+func TestCodecsServeIdenticalPriors(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	addr, _ := startServer(t, seedTasks(rng, 6, 4))
+
+	bc, err := DialPreference(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	gc, err := DialPreference(addr, time.Second, wire.PreferGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	if bc.Codec() != wire.CodecBinary || gc.Codec() != wire.CodecGob {
+		t.Fatalf("codecs: %v / %v", bc.Codec(), gc.Codec())
+	}
+
+	bp, bv, err := bc.FetchPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, gv, err := gc.FetchPrior(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv != gv {
+		t.Fatalf("versions differ: binary %d, gob %d", bv, gv)
+	}
+	if !reflect.DeepEqual(bp, gp) {
+		t.Errorf("priors differ across codecs:\nbinary %+v\ngob    %+v", bp, gp)
+	}
+
+	bs, err := bc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := gc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs != gs {
+		t.Errorf("stats differ across codecs: %+v vs %+v", bs, gs)
+	}
+}
+
+// TestLegacyGobFieldPinning pins the gob evolution contract the
+// negotiation-free fallback depends on: a pre-batch peer's Request
+// (without Tasks/trace fields) decodes into today's struct, and
+// today's Request decodes into the old shape with the new fields
+// skipped — gob matches by field name and ignores what either side
+// lacks.
+func TestLegacyGobFieldPinning(t *testing.T) {
+	// The Request as it existed before the wire subsystem.
+	type legacyRequest struct {
+		Kind         RequestKind
+		Dim          int
+		KnownVersion uint64
+		Task         *dpprior.TaskPosterior
+		MinVersion   uint64
+		FollowerID   int
+		AfterSeq     uint64
+		MaxFrames    int
+	}
+
+	// Old → new: every legacy field lands, new fields stay zero.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	task := seedTasks(rand.New(rand.NewSource(215)), 1, 3)[0]
+	go func() {
+		gob.NewEncoder(a).Encode(&legacyRequest{
+			Kind: ReportTask, Dim: 3, KnownVersion: 9, Task: &task, MinVersion: 2,
+		})
+	}()
+	var got Request
+	if err := gob.NewDecoder(b).Decode(&got); err != nil {
+		t.Fatalf("legacy request into current struct: %v", err)
+	}
+	if got.Kind != ReportTask || got.Dim != 3 || got.KnownVersion != 9 || got.MinVersion != 2 {
+		t.Errorf("legacy fields lost: %+v", got)
+	}
+	if got.Task == nil || !reflect.DeepEqual(*got.Task, task) {
+		t.Errorf("legacy task lost: %+v", got.Task)
+	}
+	if got.Tasks != nil || got.TraceID != 0 {
+		t.Errorf("new fields should be zero: %+v", got)
+	}
+
+	// New → old: a batch request decodes on an old peer with Tasks
+	// skipped (the old server then rejects the unknown kind — loudly,
+	// not by corrupting the stream).
+	c, d := net.Pipe()
+	defer c.Close()
+	defer d.Close()
+	go func() {
+		gob.NewEncoder(c).Encode(&Request{
+			Kind: BatchAddTask, Tasks: []dpprior.TaskPosterior{task}, TraceID: 7,
+		})
+	}()
+	var old legacyRequest
+	if err := gob.NewDecoder(d).Decode(&old); err != nil {
+		t.Fatalf("current request into legacy struct: %v", err)
+	}
+	if old.Kind != BatchAddTask {
+		t.Errorf("kind lost crossing to legacy struct: %+v", old)
+	}
+}
+
+// TestMuxClientConcurrent exercises the pipelined client from many
+// goroutines over one connection, in both codecs.
+func TestMuxClientConcurrent(t *testing.T) {
+	for _, pref := range []wire.Preference{wire.PreferAuto, wire.PreferGob} {
+		pref := pref
+		t.Run(map[wire.Preference]string{wire.PreferAuto: "binary", wire.PreferGob: "gob"}[pref], func(t *testing.T) {
+			rng := rand.New(rand.NewSource(216))
+			addr, srv := startServer(t, seedTasks(rng, 4, 3))
+			m, err := DialMux(addr, time.Second, pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if pref == wire.PreferAuto && m.Codec() != wire.CodecBinary {
+				t.Fatalf("mux codec %v, want binary", m.Codec())
+			}
+
+			const workers = 8
+			uploads := seedTasks(rng, workers, 3)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*3)
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for rep := 0; rep < 4; rep++ {
+						if _, _, err := m.FetchPrior(3); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if _, err := m.ReportTask(uploads[i]); err != nil {
+						errs <- err
+					}
+					if _, err := m.Stats(); err != nil {
+						errs <- err
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if got := srv.Stats().Tasks; got != 4+workers {
+				t.Errorf("server has %d tasks, want %d", got, 4+workers)
+			}
+		})
+	}
+}
+
+// TestMuxClientPoisonsOnClose: callers blocked in flight fail with the
+// close error instead of hanging.
+func TestMuxClientPoisonsOnClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(217))
+	addr, _ := startServer(t, seedTasks(rng, 2, 3))
+	m, err := DialMux(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.FetchPrior(3); err == nil {
+		t.Error("call on a closed mux client succeeded")
+	}
+}
+
+// TestBatchAddTask: one frame carries a whole round; the server appends
+// in order, rebuilds once, and acknowledges the final version.
+func TestBatchAddTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(218))
+	addr, srv := startServer(t, nil)
+	c, err := DialPreference(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	batch := seedTasks(rng, 5, 3)
+	version, done, err := c.BatchReportTasks(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != len(batch) {
+		t.Errorf("BatchDone = %d, want %d", done, len(batch))
+	}
+	if version != uint64(len(batch)) {
+		t.Errorf("version after batch = %d, want %d", version, len(batch))
+	}
+	if got := srv.Stats().Tasks; got != len(batch) {
+		t.Errorf("server has %d tasks, want %d", got, len(batch))
+	}
+	// The prior built from the batch is fetchable.
+	if _, _, err := c.FetchPrior(3); err != nil {
+		t.Errorf("fetch after batch: %v", err)
+	}
+
+	// An empty batch is a no-op client-side, a rejection server-side.
+	if _, done, err := c.BatchReportTasks(nil); err != nil || done != 0 {
+		t.Errorf("empty batch: done=%d err=%v", done, err)
+	}
+}
+
+// TestBatchAddTaskPartialFailure: a mid-batch validation rejection
+// stops the batch at the bad task — earlier tasks stay applied, later
+// ones are never attempted, and the error is a CodeBadRequest.
+func TestBatchAddTaskPartialFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(219))
+	addr, srv := startServer(t, nil)
+	c, err := DialPreference(addr, time.Second, wire.PreferAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	good := seedTasks(rng, 3, 3)
+	batch := []dpprior.TaskPosterior{
+		good[0],
+		{Mu: mat.Vec{1, 2}, Sigma: mat.NewDense(3, 3), N: 10}, // shape mismatch
+		good[1],
+	}
+	_, _, err = c.BatchReportTasks(batch)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeBadRequest {
+		t.Fatalf("partial batch error = %v, want CodeBadRequest", err)
+	}
+	if got := srv.Stats().Tasks; got != 1 {
+		t.Errorf("server has %d tasks after partial batch, want 1", got)
+	}
+}

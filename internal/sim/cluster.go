@@ -100,6 +100,11 @@ type ClusterResult struct {
 	MergedComponents int
 	PriorBytes       []byte // gob of the final merged prior (byte-identity checks)
 
+	// Codecs tallies the upload client's negotiated wire codecs at the end
+	// of the run (codec name → connection count), so results state whether
+	// the rounds ran binary or fell back to gob.
+	Codecs map[string]int
+
 	// Traces is the flight-recorder snapshot at the end of an Audit run
 	// (nil otherwise).
 	Traces *trace.Snapshot
@@ -204,12 +209,16 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		rspan := trace.Default.StartTrace("cluster-round", trace.Int("round", int64(round)))
 		sc.SetTraceParent(rspan)
 		roundErr := func() error {
-			for i := 0; i < cfg.TasksPerRound; i++ {
-				if _, err := sc.ReportTask(tasks[round*cfg.TasksPerRound+i]); err != nil {
-					return fmt.Errorf("sim: round %d upload %d: %w", round, i, err)
-				}
-				out.Tasks++
+			// One batched upload per round: the sharded client groups the
+			// tasks by shard (preserving order, so the leaders' append order
+			// — and hence PriorBytes — matches the sequential path) and
+			// ships each group as a single BatchAddTask frame.
+			batch := tasks[round*cfg.TasksPerRound : (round+1)*cfg.TasksPerRound]
+			n, err := sc.BatchReportTasks(batch)
+			if err != nil {
+				return fmt.Errorf("sim: round %d batch upload: %w", round, err)
 			}
+			out.Tasks += n
 			// The round's read: every edge refreshes its merged prior.
 			if _, err := sc.FetchMergedPrior(cfg.Dim); err != nil && !errors.Is(err, edge.ErrNoPrior) {
 				return fmt.Errorf("sim: round %d merged fetch: %w", round, err)
@@ -226,6 +235,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if s := out.Elapsed.Seconds(); s > 0 {
 		out.RoundsPerSec = float64(cfg.Rounds) / s
 	}
+	out.Codecs = sc.Codecs()
 
 	if !cl.Quiesce(15 * time.Second) {
 		return nil, errors.New("sim: cluster did not quiesce")

@@ -68,7 +68,9 @@ func TestClusterAuditTraces(t *testing.T) {
 			if sd.HasEvent("redirect") {
 				sawRedirect = true
 			}
-			if sd.Name == "serve report-task" && sd.Attr("node") == promoted && sd.Err == "" {
+			// Rounds upload through BatchReportTasks, so the promoted
+			// leader's successful serve span carries the batch kind.
+			if sd.Name == "serve batch-add-task" && sd.Attr("node") == promoted && sd.Err == "" {
 				sawPromotedServe = true
 			}
 		}

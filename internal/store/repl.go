@@ -30,12 +30,49 @@ type Frame struct {
 	Bytes []byte
 }
 
+// DefaultFrameCacheSize is how many encoded frames a store retains for
+// FramesSince when Options.FrameCacheSize is zero.
+const DefaultFrameCacheSize = 512
+
+// cacheFrameLocked remembers one encoded frame, evicting the oldest
+// entries FIFO past the cap. The bytes must be immutable (they are
+// handed to replication responses without copying). Caller holds s.mu.
+func (s *Store) cacheFrameLocked(seq uint64, b []byte) {
+	limit := s.opts.FrameCacheSize
+	if limit == 0 {
+		limit = DefaultFrameCacheSize
+	}
+	if limit < 0 {
+		return
+	}
+	if s.frameCache == nil {
+		s.frameCache = make(map[uint64][]byte, limit)
+	}
+	if _, ok := s.frameCache[seq]; ok {
+		return
+	}
+	s.frameCache[seq] = b
+	s.frameSeqs = append(s.frameSeqs, seq)
+	for len(s.frameSeqs) > limit {
+		delete(s.frameCache, s.frameSeqs[0])
+		s.frameSeqs = s.frameSeqs[1:]
+	}
+}
+
 // FramesSince returns the framed log records with sequence numbers above
 // after (at most maxFrames; 0 means DefaultMaxPullFrames), plus the
 // store's current version so the caller can measure its replication lag.
 // Sequence numbers a past recovery dropped are simply absent: the
 // follower's version jumps over them exactly as the leader's did.
+//
+// Recently appended (or previously pulled) frames come straight from the
+// encoded-frame cache; only frames that fell out of it — or never
+// entered it, on a memory-only store — pay a re-encode, outside the
+// lock, and are cached for the next follower.
 func (s *Store) FramesSince(after uint64, maxFrames int) ([]Frame, uint64, error) {
+	if maxFrames <= 0 {
+		maxFrames = DefaultMaxPullFrames
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -44,20 +81,46 @@ func (s *Store) FramesSince(after uint64, maxFrames int) ([]Frame, uint64, error
 	tasks := s.tasks[:len(s.tasks):len(s.tasks)]
 	seqs := s.seqs[:len(s.seqs):len(s.seqs)]
 	upTo := s.version
+	start := sort.Search(len(seqs), func(i int) bool { return seqs[i] > after })
+	n := len(seqs) - start
+	if n > maxFrames {
+		n = maxFrames
+	}
+	if n <= 0 {
+		s.mu.Unlock()
+		return nil, upTo, nil
+	}
+	frames := make([]Frame, n)
+	var misses []int
+	for i := 0; i < n; i++ {
+		frames[i].Seq = seqs[start+i]
+		if b, ok := s.frameCache[frames[i].Seq]; ok {
+			frames[i].Bytes = b
+		} else {
+			misses = append(misses, i)
+		}
+	}
 	s.mu.Unlock()
 
-	if maxFrames <= 0 {
-		maxFrames = DefaultMaxPullFrames
+	telemetry.StoreFrameCacheHits.Add(float64(n - len(misses)))
+	if len(misses) == 0 {
+		return frames, upTo, nil
 	}
-	start := sort.Search(len(seqs), func(i int) bool { return seqs[i] > after })
-	var frames []Frame
-	for i := start; i < len(seqs) && len(frames) < maxFrames; i++ {
-		b, err := encodeRecord(logRecord{Seq: seqs[i], Task: tasks[i]})
+	telemetry.StoreFrameCacheMisses.Add(float64(len(misses)))
+	for _, i := range misses {
+		b, err := encodeRecord(logRecord{Seq: frames[i].Seq, Task: tasks[start+i]})
 		if err != nil {
 			return nil, 0, err
 		}
-		frames = append(frames, Frame{Seq: seqs[i], Bytes: b})
+		frames[i].Bytes = b
 	}
+	s.mu.Lock()
+	if !s.closed {
+		for _, i := range misses {
+			s.cacheFrameLocked(frames[i].Seq, frames[i].Bytes)
+		}
+	}
+	s.mu.Unlock()
 	return frames, upTo, nil
 }
 
@@ -77,6 +140,7 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 	type applied struct {
 		seq   uint64
 		task  dpprior.TaskPosterior
+		bytes []byte
 		valid bool
 	}
 	var batch []applied
@@ -101,7 +165,7 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 		if s.opts.Validate != nil && s.opts.Validate(rec.Task) != nil {
 			valid = false
 		}
-		batch = append(batch, applied{seq: rec.Seq, task: rec.Task, valid: valid})
+		batch = append(batch, applied{seq: rec.Seq, task: rec.Task, bytes: fr.Bytes, valid: valid})
 		raw = append(raw, fr.Bytes...)
 	}
 	if len(batch) == 0 {
@@ -129,6 +193,9 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 		s.version = a.seq
 		s.sinceSnap++
 		telemetry.StoreAppends.Inc()
+		// Cache the applied frame verbatim: a promoted follower serves
+		// its own replication stream from these same bytes.
+		s.cacheFrameLocked(a.seq, a.bytes)
 	}
 	if invalid > 0 {
 		telemetry.StoreInvalidRecords.Add(float64(invalid))

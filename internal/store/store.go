@@ -97,6 +97,11 @@ type Options struct {
 	// the version) and counted in RecoveryInfo.InvalidRecords. Appends
 	// are not gated here — the cloud validates before appending.
 	Validate func(dpprior.TaskPosterior) error
+	// FrameCacheSize bounds the encoded-frame cache serving FramesSince
+	// (0 = DefaultFrameCacheSize; negative = disabled). The cache lets a
+	// leader ship its recent log to followers without re-encoding each
+	// record per pull.
+	FrameCacheSize int
 }
 
 // RecoveryInfo reports what Open found on disk.
@@ -124,6 +129,13 @@ type Store struct {
 	verdictF  *os.File
 	closed    bool
 	recovery  RecoveryInfo
+
+	// frameCache holds recently encoded log frames by sequence number,
+	// evicted FIFO by frameSeqs. Entries are immutable once cached (the
+	// same bytes the log holds), so FramesSince can hand them out
+	// without copying.
+	frameCache map[uint64][]byte
+	frameSeqs  []uint64
 }
 
 // logRecord is one framed log entry. Seq is the store version the
@@ -352,6 +364,10 @@ func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
 			}
 		}
 		telemetry.StoreLogBytes.Add(float64(len(frame)))
+		// The frame is already encoded; remembering it makes the next
+		// replication pull a copy-free cache hit. (Memory-only stores
+		// skip this and let FramesSince fill the cache on demand.)
+		s.cacheFrameLocked(seq, frame)
 	}
 	s.tasks = append(s.tasks, t)
 	s.seqs = append(s.seqs, seq)

@@ -146,6 +146,34 @@ var (
 	ReplAckTimeouts      = Default.Counter("drdp_repl_ack_timeouts_total")
 	ClusterPromotions    = Default.Counter("drdp_cluster_promotions_total")
 	ClusterRedirects     = Default.Counter("drdp_cluster_redirects_total")
+
+	// --- wire codec & negotiation -------------------------------------
+	ServerReqBatchAddTask = Default.Counter("drdp_edge_server_requests_total", L("kind", "batch-add-task"))
+
+	// Negotiation outcomes per connection. "gob-fallback" on the client
+	// side means the hello died (legacy server) and the client redialed
+	// pure gob — distinct from a server that answered the hello and chose
+	// gob deliberately.
+	WireNegotiateServerBinary   = Default.Counter("drdp_wire_negotiate_total", L("side", "server"), L("codec", "binary"))
+	WireNegotiateServerGob      = Default.Counter("drdp_wire_negotiate_total", L("side", "server"), L("codec", "gob"))
+	WireNegotiateClientBinary   = Default.Counter("drdp_wire_negotiate_total", L("side", "client"), L("codec", "binary"))
+	WireNegotiateClientGob      = Default.Counter("drdp_wire_negotiate_total", L("side", "client"), L("codec", "gob"))
+	WireNegotiateClientFallback = Default.Counter("drdp_wire_negotiate_total", L("side", "client"), L("codec", "gob-fallback"))
+
+	// Per-codec traffic. Binary is counted inside the wire framer; gob is
+	// counted by the stream wrappers in package edge.
+	WireMsgsBinaryOut  = Default.Counter("drdp_wire_msgs_total", L("codec", "binary"), L("dir", "out"))
+	WireMsgsBinaryIn   = Default.Counter("drdp_wire_msgs_total", L("codec", "binary"), L("dir", "in"))
+	WireMsgsGobOut     = Default.Counter("drdp_wire_msgs_total", L("codec", "gob"), L("dir", "out"))
+	WireMsgsGobIn      = Default.Counter("drdp_wire_msgs_total", L("codec", "gob"), L("dir", "in"))
+	WireBytesBinaryOut = Default.Counter("drdp_wire_bytes_total", L("codec", "binary"), L("dir", "out"))
+	WireBytesBinaryIn  = Default.Counter("drdp_wire_bytes_total", L("codec", "binary"), L("dir", "in"))
+	WireBytesGobOut    = Default.Counter("drdp_wire_bytes_total", L("codec", "gob"), L("dir", "out"))
+	WireBytesGobIn     = Default.Counter("drdp_wire_bytes_total", L("codec", "gob"), L("dir", "in"))
+
+	// --- store replication frame cache --------------------------------
+	StoreFrameCacheHits   = Default.Counter("drdp_store_frame_cache_hits_total")
+	StoreFrameCacheMisses = Default.Counter("drdp_store_frame_cache_misses_total")
 )
 
 // ReplLagGauge is the per-follower replication lag in sequence numbers
@@ -169,6 +197,8 @@ func ServerReqCounter(kind string) *Counter {
 		return ServerReqPullLog
 	case "get-shard-map":
 		return ServerReqGetShardMap
+	case "batch-add-task":
+		return ServerReqBatchAddTask
 	default:
 		return ServerReqOther
 	}
@@ -329,6 +359,11 @@ func init() {
 		"drdp_cluster_promotions_total":            "Follower promotions after a leader loss.",
 		"drdp_cluster_redirects_total":             "Edge requests redirected by a shard-map version bump.",
 		"drdp_edge_client_exhausted_total":         "Requests that failed for good, by the final attempt's error cause (retry budget exhausted or breaker open).",
+		"drdp_wire_negotiate_total":                "Codec negotiation outcomes per connection, by side and chosen codec (gob-fallback = hello refused by a legacy server).",
+		"drdp_wire_msgs_total":                     "Protocol messages moved, by codec and direction.",
+		"drdp_wire_bytes_total":                    "Protocol bytes moved, by codec and direction.",
+		"drdp_store_frame_cache_hits_total":        "Replication pulls answered from the encoded-frame cache.",
+		"drdp_store_frame_cache_misses_total":      "Replication frames re-encoded because they fell out of the cache.",
 	} {
 		Default.SetHelp(name, help)
 	}

@@ -1,0 +1,187 @@
+// Package wire is drdp's wire subsystem: the protocol message types
+// shared by every tier (edge client, cloud server, shard cluster), a
+// versioned fixed-layout binary codec for them, and the per-connection
+// negotiation handshake that picks a codec while keeping gob as the
+// universal fallback.
+//
+// # Codecs
+//
+// Two codecs can carry the (Request, Response) exchange:
+//
+//   - CodecGob: one gob stream per direction, exactly the original
+//     protocol. Every pre-negotiation peer speaks it, so it is the
+//     interop floor: an old edge against a new server (no hello sent →
+//     the server answers gob) and a new edge against an old server
+//     (hello rejected → the client redials and speaks gob) both work.
+//   - CodecBinary: fixed-layout little-endian encoding framed as
+//     [u32 length][u32 IEEE CRC32][payload]. No reflection on either
+//     side; message buffers are reused per connection (and pooled
+//     across short-lived encoders), so steady-state decode performs
+//     zero allocations for payloads the caller does not retain.
+//
+// # Negotiation
+//
+// A binary-capable client opens every connection with a 12-byte hello:
+//
+//	[0x0b]['D' 'R' 'D' 'W'][version][preferred codec][5 reserved bytes]
+//
+// The leading 0x0b doubles as a gob message length (11 bytes follow), so
+// a legacy gob server consumes the hello fully, fails decoding it, and
+// closes the connection immediately — the client detects the closed
+// stream, redials, and speaks pure gob. A negotiating server peeks at
+// the first five bytes: on the magic it consumes the hello and answers
+// an 8-byte ack naming the chosen codec; anything else is a legacy gob
+// client and the peeked bytes flow unchanged into the gob decoder.
+//
+// Message kinds, framing, and the binary layouts are documented on the
+// types in this package and in DESIGN.md (S22).
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Codec identifies how (Request, Response) values are serialized on a
+// connection.
+type Codec uint8
+
+// Codecs, in negotiation-preference order.
+const (
+	// CodecGob is the reflection-based fallback every peer speaks.
+	CodecGob Codec = iota
+	// CodecBinary is the fixed-layout little-endian codec.
+	CodecBinary
+)
+
+// String names the codec as it appears in telemetry labels and trace
+// attributes.
+func (c Codec) String() string {
+	switch c {
+	case CodecGob:
+		return "gob"
+	case CodecBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Codec(%d)", uint8(c))
+	}
+}
+
+// Preference is a client-side dial policy: negotiate for binary (with
+// the gob fallback) or skip negotiation entirely.
+type Preference int
+
+// Dial preferences.
+const (
+	// PreferAuto sends the hello and takes whatever the server picks,
+	// falling back to pure gob when the server predates negotiation.
+	PreferAuto Preference = iota
+	// PreferGob skips the hello and speaks pure gob — byte-for-byte the
+	// pre-negotiation client, used against legacy servers and by the
+	// dual-codec test matrix.
+	PreferGob
+)
+
+// ParsePreference maps a configuration string ("auto", "binary", "gob")
+// to a Preference; unknown values mean PreferAuto.
+func ParsePreference(s string) Preference {
+	if s == "gob" {
+		return PreferGob
+	}
+	return PreferAuto
+}
+
+// DefaultPreference is the process-wide dial policy, read once from the
+// DRDP_WIRE environment variable ("gob" forces the fallback codec;
+// anything else negotiates). The chaos and cluster suites run twice,
+// once per value, to pin both codec paths.
+var DefaultPreference = sync.OnceValue(func() Preference {
+	return ParsePreference(os.Getenv("DRDP_WIRE"))
+})
+
+// Negotiation constants.
+const (
+	// Version is the wire-protocol version carried in hello and ack.
+	Version = 1
+	// helloLen is the on-the-wire hello size: the gob-compatible length
+	// byte plus magic, version, codec, and reserved padding.
+	helloLen = 12
+	// ackLen is the on-the-wire ack size.
+	ackLen = 8
+	// DefaultNegotiateTimeout bounds the hello/ack exchange so a client
+	// against a silent peer degrades to gob quickly instead of hanging.
+	DefaultNegotiateTimeout = 2 * time.Second
+)
+
+// magic tags negotiation messages. The hello's leading length byte is
+// not part of it; see the package comment.
+var magic = [4]byte{'D', 'R', 'D', 'W'}
+
+// WriteHello sends the client hello naming the preferred codec.
+func WriteHello(w io.Writer, prefer Codec) error {
+	var b [helloLen]byte
+	b[0] = helloLen - 1 // a valid gob message length: legacy servers consume the rest
+	copy(b[1:5], magic[:])
+	b[5] = Version
+	b[6] = byte(prefer)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// SniffHello reports whether the connection's first bytes are a
+// negotiation hello, without consuming them. A short or failed peek
+// (EOF, deadline) reports false and lets the caller's decode path
+// surface the underlying condition.
+func SniffHello(br *bufio.Reader) bool {
+	b, err := br.Peek(5)
+	if err != nil || len(b) < 5 {
+		return false
+	}
+	return b[0] == helloLen-1 && b[1] == magic[0] && b[2] == magic[1] && b[3] == magic[2] && b[4] == magic[3]
+}
+
+// ReadHello consumes a sniffed hello and returns the client's preferred
+// codec and protocol version.
+func ReadHello(r io.Reader) (Codec, byte, error) {
+	var b [helloLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return CodecGob, 0, fmt.Errorf("wire: read hello: %w", err)
+	}
+	if b[0] != helloLen-1 || [4]byte(b[1:5]) != magic {
+		return CodecGob, 0, fmt.Errorf("wire: bad hello magic")
+	}
+	return Codec(b[6]), b[5], nil
+}
+
+// WriteAck answers a hello with the server's chosen codec.
+func WriteAck(w io.Writer, chosen Codec) error {
+	var b [ackLen]byte
+	copy(b[0:4], magic[:])
+	b[4] = Version
+	b[5] = byte(chosen)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadAck reads the server's negotiation answer. Any error — including
+// a peer that closed the connection because it never heard of the
+// handshake — means the caller must drop the connection and fall back
+// to gob on a fresh one.
+func ReadAck(r io.Reader) (Codec, error) {
+	var b [ackLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return CodecGob, fmt.Errorf("wire: read ack: %w", err)
+	}
+	if [4]byte(b[0:4]) != magic {
+		return CodecGob, fmt.Errorf("wire: bad ack magic")
+	}
+	c := Codec(b[5])
+	if c != CodecGob && c != CodecBinary {
+		return CodecGob, fmt.Errorf("wire: server chose unknown codec %d", b[5])
+	}
+	return c, nil
+}

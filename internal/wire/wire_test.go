@@ -1,0 +1,361 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/mat"
+	"github.com/drdp/drdp/internal/store"
+)
+
+func testTask(dim int, seed float64) dpprior.TaskPosterior {
+	mu := make(mat.Vec, dim)
+	for i := range mu {
+		mu[i] = seed + 0.25*float64(i)
+	}
+	sigma := mat.Eye(dim)
+	sigma.ScaleBy(0.5 + 0.1*seed)
+	return dpprior.TaskPosterior{Mu: mu, Sigma: sigma, N: 100 + int(seed)}
+}
+
+func testPrior(dim, comps int) *dpprior.Prior {
+	p := &dpprior.Prior{Alpha: 1.5, BaseWeight: 0.1, BaseSigma: 2, Dim: dim}
+	for k := 0; k < comps; k++ {
+		mu := make(mat.Vec, dim)
+		for i := range mu {
+			mu[i] = float64(k) + 0.5*float64(i)
+		}
+		sigma := mat.Eye(dim)
+		sigma.ScaleBy(0.3 + 0.1*float64(k))
+		p.Components = append(p.Components, dpprior.Component{
+			Weight: 0.9 / float64(comps),
+			Mu:     mu,
+			Sigma:  sigma,
+			Count:  float64(k + 1),
+		})
+	}
+	return p
+}
+
+func testDelta(dim int) *dpprior.PriorDelta {
+	return &dpprior.PriorDelta{
+		FromVersion: 3, ToVersion: 7,
+		Alpha: 1.2, BaseWeight: 0.15, BaseSigma: 1.8, Dim: dim,
+		NumComponents: 2,
+		Keep:          []dpprior.DeltaKeep{{Old: 0, New: 1, Weight: 0.4, Count: 3}},
+		Add:           []dpprior.DeltaAdd{{New: 0, Comp: testPrior(dim, 1).Components[0]}},
+	}
+}
+
+// TestRequestRoundTrip pins the binary codec on one request of every
+// kind: decode(encode(x)) must reproduce x exactly.
+func TestRequestRoundTrip(t *testing.T) {
+	task := testTask(4, 1)
+	reqs := []Request{
+		{Kind: GetPrior, Dim: 8, KnownVersion: 42, MinVersion: 7, TraceID: 0xdead, ParentSpan: 0xbeef},
+		{Kind: ReportTask, Task: &task},
+		{Kind: GetStats},
+		{Kind: GetPriorDelta, Dim: 4, KnownVersion: 3, MinVersion: 2},
+		{Kind: PullLog, FollowerID: 2, AfterSeq: 99, MaxFrames: 64},
+		{Kind: GetShardMap, KnownVersion: 5},
+		{Kind: BatchAddTask, Tasks: []dpprior.TaskPosterior{testTask(3, 1), testTask(3, 2), testTask(3, 3)}},
+	}
+	for _, orig := range reqs {
+		payload := AppendRequest(nil, &orig)
+		var got Request
+		if err := DecodeRequest(payload, &got, false); err != nil {
+			t.Fatalf("%s: decode: %v", orig.Kind, err)
+		}
+		if !reflect.DeepEqual(&orig, &got) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", orig.Kind, got, orig)
+		}
+	}
+}
+
+// TestResponseRoundTrip pins the binary codec on every response payload
+// shape: errors, priors, deltas, replication frames + verdicts, shard
+// maps, stats, and batch acknowledgements.
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Err: "edge: boom", Code: CodeBadRequest, Version: 9},
+		{Prior: testPrior(3, 2), Version: 4},
+		{Delta: testDelta(3), Version: 7},
+		{NotModified: true, Version: 11},
+		{
+			Frames:     []store.Frame{{Seq: 1, Bytes: []byte{1, 2, 3}}, {Seq: 2, Bytes: []byte{4}}},
+			VerdictMap: map[uint64]bool{1: true, 2: false},
+			UpTo:       2, Version: 2,
+		},
+		{Map: &ShardMap{Version: 3, Shards: []ShardReplicas{
+			{Leader: "a:1", Followers: []string{"b:1", "c:1"}},
+			{Leader: "d:1", Followers: []string{}},
+		}}},
+		{Stats: Stats{Tasks: 5, PriorVersion: 2, Components: 3, WireBytes: 1000, Accepted: 4, Quarantined: 1, Rejected: 2}},
+		{Version: 10, BatchDone: 7},
+	}
+	for i, orig := range resps {
+		payload := AppendResponse(nil, &orig)
+		var got Response
+		if err := DecodeResponse(payload, &got, false); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(&orig, &got) {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, orig)
+		}
+	}
+}
+
+// TestNegotiationHandshake pins the hello/ack exchange — including the
+// property the gob fallback depends on: the hello's first byte is a
+// valid gob message length, so a legacy server consumes exactly the
+// hello before failing.
+func TestNegotiationHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != helloLen {
+		t.Fatalf("hello is %d bytes, want %d", buf.Len(), helloLen)
+	}
+	if buf.Bytes()[0] != helloLen-1 {
+		t.Fatalf("hello leading byte %#x is not the gob length %#x", buf.Bytes()[0], helloLen-1)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	if !SniffHello(br) {
+		t.Fatal("SniffHello missed a real hello")
+	}
+	codec, version, err := ReadHello(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec != CodecBinary || version != Version {
+		t.Fatalf("ReadHello = (%v, %d), want (%v, %d)", codec, version, CodecBinary, Version)
+	}
+
+	// A gob stream's opening bytes must not sniff as a hello.
+	if SniffHello(bufio.NewReader(strings.NewReader("\x1f\xff\x81\x03\x01\x01"))) {
+		t.Error("SniffHello matched a gob stream")
+	}
+	// Nor a short or empty stream.
+	if SniffHello(bufio.NewReader(strings.NewReader("\x0b"))) {
+		t.Error("SniffHello matched a 1-byte stream")
+	}
+
+	for _, c := range []Codec{CodecGob, CodecBinary} {
+		var ab bytes.Buffer
+		if err := WriteAck(&ab, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAck(&ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Errorf("ack round trip: got %v, want %v", got, c)
+		}
+	}
+	if _, err := ReadAck(strings.NewReader("XXXXXXXX")); err == nil {
+		t.Error("garbage ack accepted")
+	}
+	if _, err := ReadAck(strings.NewReader("DR")); err == nil {
+		t.Error("truncated ack accepted")
+	}
+}
+
+// TestFrameRoundTrip runs requests and responses through the framed
+// Encoder/Decoder pair — header, CRC, and payload together.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	defer enc.Release()
+	task := testTask(4, 2)
+	req := &Request{Kind: ReportTask, Task: &task}
+	resp := &Response{Prior: testPrior(4, 3), Version: 12}
+	if err := enc.EncodeRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeResponse(resp); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf, 1<<20)
+	defer dec.Release()
+	var gotReq Request
+	if err := dec.DecodeRequest(&gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, &gotReq) {
+		t.Errorf("framed request mismatch:\n got %+v\nwant %+v", gotReq, req)
+	}
+	var gotResp Response
+	if err := dec.DecodeResponse(&gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, &gotResp) {
+		t.Errorf("framed response mismatch:\n got %+v\nwant %+v", gotResp, resp)
+	}
+}
+
+// TestFrameCRCMismatch: a flipped payload bit must fail the frame, not
+// produce a half-decoded message.
+func TestFrameCRCMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	defer enc.Release()
+	if err := enc.EncodeRequest(&Request{Kind: GetStats}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0x40
+	dec := NewDecoder(bytes.NewReader(b), 0)
+	defer dec.Release()
+	var got Request
+	err := dec.DecodeRequest(&got)
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupt frame decoded: err=%v", err)
+	}
+}
+
+// TestFrameLimit: a frame larger than the decoder's limit is rejected
+// from the header alone, before any payload allocation.
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	defer enc.Release()
+	tasks := make([]dpprior.TaskPosterior, 8)
+	for i := range tasks {
+		tasks[i] = testTask(8, float64(i))
+	}
+	if err := enc.EncodeRequest(&Request{Kind: BatchAddTask, Tasks: tasks}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf, 64)
+	defer dec.Release()
+	var got Request
+	err := dec.DecodeRequest(&got)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame decoded: err=%v", err)
+	}
+}
+
+// TestDecodeRejectsGiantCount: a payload whose element count claims far
+// more elements than the remaining bytes could hold must fail without
+// attempting the allocation.
+func TestDecodeRejectsGiantCount(t *testing.T) {
+	payload := AppendRequest(nil, &Request{Kind: BatchAddTask, Tasks: []dpprior.TaskPosterior{testTask(2, 1)}})
+	// The batch count is the u32 straight after the fixed request header:
+	// type+kind+flags + dim + known + min + follower + after + maxFrames
+	// + traceID + parentSpan = 1+1+2 + 4+8+8+4+8+4+8+8 = 56 bytes.
+	binary.LittleEndian.PutUint32(payload[56:], 0xFFFFFFFF)
+	var got Request
+	err := DecodeRequest(payload, &got, false)
+	if err == nil || !strings.Contains(err.Error(), "element count") {
+		t.Fatalf("giant count decoded: err=%v", err)
+	}
+}
+
+// TestDecodeRejectsTrailingBytes: a structurally valid payload with
+// extra bytes is corrupt, not decodable.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	payload := AppendRequest(nil, &Request{Kind: GetStats})
+	payload = append(payload, 0xAA)
+	var got Request
+	if err := DecodeRequest(payload, &got, false); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	rpayload := AppendResponse(nil, &Response{Version: 1})
+	rpayload = append(rpayload, 0xAA)
+	var gotResp Response
+	if err := DecodeResponse(rpayload, &gotResp, false); err == nil {
+		t.Fatal("trailing bytes accepted on response")
+	}
+}
+
+// TestDecodeWrongMessageType: a request payload fed to the response
+// decoder (and vice versa) fails on the type byte.
+func TestDecodeWrongMessageType(t *testing.T) {
+	reqPayload := AppendRequest(nil, &Request{Kind: GetStats})
+	var resp Response
+	if err := DecodeResponse(reqPayload, &resp, false); err == nil {
+		t.Error("request payload decoded as response")
+	}
+	respPayload := AppendResponse(nil, &Response{Version: 1})
+	var req Request
+	if err := DecodeRequest(respPayload, &req, false); err == nil {
+		t.Error("response payload decoded as request")
+	}
+}
+
+// TestDecodeReuseRecycles: with reuse, a second decode into the same
+// destination recycles the payload slices (same backing arrays) while
+// still producing the right values.
+func TestDecodeReuseRecycles(t *testing.T) {
+	resp := &Response{Prior: testPrior(6, 4), Version: 5}
+	payload := AppendResponse(nil, resp)
+	var got Response
+	if err := DecodeResponse(payload, &got, true); err != nil {
+		t.Fatal(err)
+	}
+	firstMu := &got.Prior.Components[0].Mu[0]
+	if err := DecodeResponse(payload, &got, true); err != nil {
+		t.Fatal(err)
+	}
+	if &got.Prior.Components[0].Mu[0] != firstMu {
+		t.Error("reuse decode reallocated a component mean")
+	}
+	if !reflect.DeepEqual(resp, &got) {
+		t.Errorf("reuse decode mismatch:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+// TestBinaryDecodeAllocBudget pins the codec's core promise: steady-state
+// decode with reuse performs zero heap allocations per message, on both
+// the hot upload payload (request with a task) and the hot download
+// payload (response with a prior). make bench-wire gates on this test,
+// so a regression fails CI, not just a benchmark eyeball.
+func TestBinaryDecodeAllocBudget(t *testing.T) {
+	task := testTask(8, 3)
+	reqPayload := AppendRequest(nil, &Request{Kind: ReportTask, Task: &task})
+	respPayload := AppendResponse(nil, &Response{Prior: testPrior(8, 6), Version: 9})
+
+	var req Request
+	var resp Response
+	// Warm up so the reused buffers reach steady-state capacity.
+	if err := DecodeRequest(reqPayload, &req, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeResponse(respPayload, &resp, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeRequest(reqPayload, &req, true); err != nil {
+			t.Error(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("request decode with reuse allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeResponse(respPayload, &resp, true); err != nil {
+			t.Error(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("response decode with reuse allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestParsePreference pins the configuration strings.
+func TestParsePreference(t *testing.T) {
+	if ParsePreference("gob") != PreferGob {
+		t.Error(`ParsePreference("gob") != PreferGob`)
+	}
+	for _, s := range []string{"", "auto", "binary", "nonsense"} {
+		if ParsePreference(s) != PreferAuto {
+			t.Errorf("ParsePreference(%q) != PreferAuto", s)
+		}
+	}
+}
