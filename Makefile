@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-wire chaos chaos-gob fuzz-wire trace-smoke
+.PHONY: all build vet test race check bench bench-json bench-wire chaos chaos-gob chaos-region fuzz-wire trace-smoke
 
 all: check
 
@@ -35,6 +35,15 @@ chaos:
 # gob fallback, so both wire codecs carry the failover guarantees.
 chaos-gob:
 	DRDP_WIRE=gob $(MAKE) chaos
+
+# Hierarchical-tier chaos: the region partition scenario (degradation
+# ladder fresh→regional→cached→local-only, gossip under cloud outage,
+# byte-identical cloud prior after heal), the region sync/gossip unit
+# tests, and the strict-wire + mux-close regression tests, repeated
+# under the race detector.
+chaos-region:
+	$(GO) test -race -count=2 -run 'Region|RunRegions|Mux|StrictBinary|Ladder' \
+		./internal/region/ ./internal/sim/ ./internal/edge/
 
 # Wire codec gates: the microbenchmarks with allocation reporting, the
 # decode allocs/op budget (binary decode into reused buffers must stay

@@ -61,6 +61,7 @@ var jobs = []job{
 	{id: "table14", table: experiment.Table14PoisonedEdges},
 	{id: "table15", table: experiment.Table15ShardedCluster},
 	{id: "table16", table: experiment.Table16WireSpeed},
+	{id: "table18", table: experiment.Table18Regions},
 }
 
 func main() {
@@ -72,7 +73,7 @@ func main() {
 
 func run() error {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (table1..table16, fig1..fig12); empty = all")
+		only     = flag.String("only", "", "comma-separated experiment ids (table1..table18, fig1..fig12); empty = all")
 		csvDir   = flag.String("csv", "", "directory for CSV output (created if missing)")
 		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
 		reps     = flag.Int("reps", 3, "repetitions (seeds) per configuration")

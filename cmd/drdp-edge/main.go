@@ -68,7 +68,7 @@ func run() error {
 		fallback  = flag.Bool("fallback-local", false, "train prior-free when the cloud is unreachable and the cache is cold")
 		telAddr   = flag.String("telemetry-addr", "", "observability listen address (/metrics, /tracez, /debug/vars, /debug/pprof); empty disables")
 		quiet     = flag.Bool("quiet", false, "silence transport warnings")
-		wireF     = flag.String("wire", "", "wire codec preference: auto (negotiate binary, fall back to gob) or gob; empty = $DRDP_WIRE or auto")
+		wireF     = flag.String("wire", "", "wire codec preference: auto (negotiate binary, fall back to gob), binary (require binary, fail on gob-only servers), or gob; empty = $DRDP_WIRE or auto")
 
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in [0,1] for device-round traces; sampled rounds propagate trace context to the cloud (0 = off)")
 	)
@@ -137,6 +137,17 @@ func run() error {
 
 	start := time.Now()
 	if *cloud != "" {
+		var pref wire.Preference
+		if *wireF == "" {
+			// Defer to $DRDP_WIRE; an unparsable value is a config error,
+			// not something to silently run "auto" over.
+			pref, err = wire.DefaultPreference()
+		} else {
+			pref, err = wire.ParsePreference(*wireF)
+		}
+		if err != nil {
+			return err
+		}
 		retry := edge.DefaultRetryPolicy
 		retry.MaxAttempts = *retries
 		retry.Base = *backoff
@@ -146,7 +157,7 @@ func run() error {
 			DialTimeout:      *timeout,
 			RoundTripTimeout: *rtTimeout,
 			Seed:             *seed,
-			WireCodec:        wire.ParsePreference(*wireF),
+			WireCodec:        pref,
 		}
 		if *quiet {
 			ropts.Logger = telemetry.Discard()

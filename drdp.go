@@ -41,6 +41,7 @@ import (
 	"github.com/drdp/drdp/internal/metrics"
 	"github.com/drdp/drdp/internal/model"
 	"github.com/drdp/drdp/internal/opt"
+	"github.com/drdp/drdp/internal/region"
 	"github.com/drdp/drdp/internal/stat"
 	"github.com/drdp/drdp/internal/store"
 	"github.com/drdp/drdp/internal/telemetry"
@@ -315,6 +316,9 @@ type (
 const (
 	// DegradedNone trained with a current cloud prior.
 	DegradedNone = edge.DegradedNone
+	// DegradedRegional trained with a regional aggregator's prior after
+	// the primary cloud fetch failed.
+	DegradedRegional = edge.DegradedRegional
 	// DegradedCached trained with the last good cached prior.
 	DegradedCached = edge.DegradedCached
 	// DegradedLocal trained without a prior.
@@ -328,6 +332,10 @@ const (
 	WirePreferAuto = wire.PreferAuto
 	// WirePreferGob skips negotiation and speaks pure gob.
 	WirePreferGob = wire.PreferGob
+	// WirePreferBinary requires the binary codec: against a peer that
+	// cannot negotiate it, the dial fails instead of silently running
+	// the session over gob.
+	WirePreferBinary = wire.PreferBinary
 	// WireCodecGob is the reflection-based fallback every peer speaks.
 	WireCodecGob = wire.CodecGob
 	// WireCodecBinary is the fixed-layout zero-reflection codec.
@@ -395,6 +403,30 @@ var (
 	MergePriors = dpprior.MergePriors
 )
 
+// Regional aggregator tier: the middle hop of the hierarchical
+// edge → region → cloud topology. A region runs the full store +
+// admission + rebuild stack locally, serves the edge protocol to its
+// devices, flushes summarized component sets upward to the cloud,
+// refreshes merged priors downward, and optionally gossips component
+// deltas with peer regions during cloud outages.
+type (
+	// Region is a running regional aggregator (StartRegion).
+	Region = region.Region
+	// RegionConfig configures one regional aggregator.
+	RegionConfig = region.Config
+	// RegionSyncStats counts a region's flush/sync/gossip activity.
+	RegionSyncStats = region.SyncStats
+)
+
+var (
+	// StartRegion opens a region's store and local server stack; the
+	// cloud uplink dials lazily on the first flush.
+	StartRegion = region.Start
+	// SummarizeTasks compresses a flush window of task posteriors into
+	// at most MaxComponents pseudo-tasks (what a region ships upward).
+	SummarizeTasks = dpprior.SummarizeTasks
+)
+
 var (
 	// NewCloudServer creates a prior server.
 	NewCloudServer = edge.NewCloudServer
@@ -411,8 +443,9 @@ var (
 	// codec preference (WirePreferAuto negotiates binary, falls back to
 	// gob against pre-negotiation servers).
 	DialMux = edge.DialMux
-	// ParseWirePreference maps "gob"/"auto" (the -wire flag and
-	// DRDP_WIRE values) to a WirePreference.
+	// ParseWirePreference maps "auto"/"gob"/"binary" (the -wire flag
+	// and DRDP_WIRE values) to a WirePreference; unknown names are
+	// configuration errors, not silently "auto".
 	ParseWirePreference = wire.ParsePreference
 	// NewPriorCache creates an optionally file-backed prior cache.
 	NewPriorCache = edge.NewPriorCache

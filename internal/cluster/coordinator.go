@@ -209,11 +209,16 @@ func (co *Coordinator) serve(ln net.Listener) {
 // failThreshold consecutive missed probes.
 func (co *Coordinator) probeLoop() {
 	defer co.wg.Done()
+	// One ticker for the life of the loop: a per-iteration time.After
+	// allocates (and leaks until expiry) a timer every probe interval,
+	// which at a 10ms cadence is real garbage on a long-lived coordinator.
+	ticker := time.NewTicker(co.probeInterval)
+	defer ticker.Stop()
 	for {
 		select {
 		case <-co.stopCh:
 			return
-		case <-time.After(co.probeInterval):
+		case <-ticker.C:
 		}
 		co.mu.Lock()
 		leaders := make([]string, len(co.m.Shards))

@@ -265,6 +265,27 @@ type ReplicateOptions struct {
 func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, stop <-chan struct{}) {
 	logger := telemetry.OrDefault(o.Logger)
 	rng := rand.New(rand.NewSource(o.Seed))
+	// One timer serves the jitter sleep and every pause below. The loop
+	// pauses on most iterations of a long-lived follower, and a fresh
+	// time.After per pause allocates a timer each lap.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	// pause sleeps for d on the shared timer; false means stop closed.
+	pause := func(d time.Duration) bool {
+		timer.Reset(d)
+		select {
+		case <-timer.C:
+			return true
+		case <-stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return false
+		}
+	}
 	// Seeded catch-up jitter: desynchronize a herd of (re)starting
 	// followers before the first pull.
 	jitterMax := o.CatchupJitter
@@ -272,9 +293,7 @@ func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, sto
 		jitterMax = DefaultCatchupJitter
 	}
 	if jitterMax > 0 {
-		select {
-		case <-time.After(time.Duration(rng.Int63n(int64(jitterMax)))):
-		case <-stop:
+		if !pause(time.Duration(rng.Int63n(int64(jitterMax)))) {
 			return
 		}
 	}
@@ -307,10 +326,7 @@ func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, sto
 			// cadence they would flood the flight recorder).
 			trace.Default.Record("repl-pull", pullStart, time.Since(pullStart), err,
 				trace.Str("node", srv.NodeName()), trace.Str("leader", leaderAddr))
-			select {
-			case <-time.After(interval):
-			case <-stop:
-			}
+			pause(interval)
 			continue
 		}
 		if len(batch.Frames) > 0 {
@@ -323,10 +339,7 @@ func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, sto
 		v, err := srv.ApplyReplicated(batch.Frames, batch.Verdicts)
 		if err != nil {
 			logger.Error("cluster: applying replicated frames failed", "err", err)
-			select {
-			case <-time.After(interval):
-			case <-stop:
-			}
+			pause(interval)
 			continue
 		}
 		lag := uint64(0)
@@ -341,9 +354,7 @@ func Replicate(srv *edge.CloudServer, leaderAddr string, o ReplicateOptions, sto
 			// must deliver): pull again immediately.
 			continue
 		}
-		select {
-		case <-time.After(interval):
-		case <-stop:
+		if !pause(interval) {
 			return
 		}
 	}

@@ -68,7 +68,7 @@ func TestClusterCodecsByteIdentical(t *testing.T) {
 		t.Fatalf("merged prior differs across codecs (%d vs %d bytes)",
 			len(binaryBytes), len(gobPriorBytes))
 	}
-	if wire.DefaultPreference() == wire.PreferGob {
+	if pref, _ := wire.DefaultPreference(); pref == wire.PreferGob {
 		// DRDP_WIRE=gob latches every auto client onto the fallback by
 		// design (the dual-codec chaos matrix), so only the byte-identity
 		// half of this test is meaningful.

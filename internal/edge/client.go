@@ -42,16 +42,23 @@ func (c *Client) Codec() wire.Codec { return c.codec }
 
 // Dial connects to the cloud server at addr with the given timeout (zero
 // means no timeout), negotiating the wire codec per the process-wide
-// preference (DRDP_WIRE).
+// preference (DRDP_WIRE). An unrecognized DRDP_WIRE value fails the dial.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	return DialPreference(addr, timeout, wire.DefaultPreference())
+	pref, err := wire.DefaultPreference()
+	if err != nil {
+		return nil, fmt.Errorf("edge: dial %s: %w", addr, err)
+	}
+	return DialPreference(addr, timeout, pref)
 }
 
 // DialPreference connects with an explicit codec preference. PreferAuto
 // sends the negotiation hello and follows the server's choice; a server
 // that predates the handshake kills the connection, and the client
-// redials and speaks pure gob. PreferGob skips negotiation entirely —
-// byte-for-byte the legacy client.
+// redials and speaks pure gob. PreferBinary is the strict mode: the
+// connection must settle on the binary codec, and a legacy server (or a
+// server that answers gob) fails the dial with an error instead of a
+// silent downgrade. PreferGob skips negotiation entirely — byte-for-byte
+// the legacy client.
 func DialPreference(addr string, timeout time.Duration, pref wire.Preference) (*Client, error) {
 	conn, err := dialTCP(addr, timeout)
 	if err != nil {
@@ -64,8 +71,13 @@ func DialPreference(addr string, timeout time.Duration, pref wire.Preference) (*
 	if nerr != nil {
 		// The hello poisoned the stream (legacy server, or a transport
 		// fault mid-handshake): the only safe recovery is a fresh
-		// connection speaking the universal codec.
+		// connection speaking the universal codec — unless the caller
+		// demanded binary, in which case downgrading is the bug.
 		conn.Close()
+		if pref == wire.PreferBinary {
+			telemetry.WireNegotiateClientStrict.Inc()
+			return nil, fmt.Errorf("edge: dial %s: binary codec required but negotiation failed (legacy gob-only server?): %w", addr, nerr)
+		}
 		telemetry.WireNegotiateClientFallback.Inc()
 		conn, err = dialTCP(addr, timeout)
 		if err != nil {
@@ -76,6 +88,11 @@ func DialPreference(addr string, timeout time.Duration, pref wire.Preference) (*
 	if codec == wire.CodecBinary {
 		telemetry.WireNegotiateClientBinary.Inc()
 		return NewBinaryClient(conn), nil
+	}
+	if pref == wire.PreferBinary {
+		conn.Close()
+		telemetry.WireNegotiateClientStrict.Inc()
+		return nil, fmt.Errorf("edge: dial %s: binary codec required but server chose %s", addr, codec)
 	}
 	telemetry.WireNegotiateClientGob.Inc()
 	return NewClient(conn), nil

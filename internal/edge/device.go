@@ -37,8 +37,14 @@ const (
 	// DegradedNone: a current prior straight from (or confirmed by) the
 	// cloud.
 	DegradedNone Degradation = iota
-	// DegradedCached: the cloud was unreachable; training used the last
-	// good cached prior, possibly stale.
+	// DegradedRegional: the cloud was unreachable; training used the
+	// regional aggregator's merged prior — fresher than any cache (the
+	// region keeps absorbing local uploads during a cloud partition) but
+	// missing whatever other regions contributed since the last sync.
+	DegradedRegional
+	// DegradedCached: the cloud (and any configured region) was
+	// unreachable; training used the last good cached prior, possibly
+	// stale.
 	DegradedCached
 	// DegradedLocal: no prior at all — the cloud is cold (cold start) or
 	// unreachable with a cold cache; training was local-only DRO.
@@ -50,6 +56,8 @@ func (d Degradation) String() string {
 	switch d {
 	case DegradedNone:
 		return "fresh-prior"
+	case DegradedRegional:
+		return "regional-prior"
 	case DegradedCached:
 		return "cached-prior"
 	case DegradedLocal:
@@ -101,6 +109,12 @@ type Device struct {
 	// with bit-identical results; 0 keeps the inline serial path and
 	// < 0 picks GOMAXPROCS.
 	Parallelism int
+	// Regional, when non-nil, is a client to the device's regional
+	// aggregator: when the primary cloud fetch fails on transport, the
+	// round tries the region before touching the cache, and task reports
+	// go to the region instead of the cloud (the region pre-aggregates
+	// and syncs upward in batches).
+	Regional Cloud
 	// Cache, when non-nil, stores the last good prior: fetches become
 	// conditional (version handshake), and a transport failure falls back
 	// to the cached prior instead of failing the round.
@@ -202,7 +216,19 @@ func (d *Device) fetch(c Cloud) (*dpprior.Prior, RunStatus, error) {
 		}
 		telemetry.DeviceFetchErrors.Inc()
 		// Transport fault (or exhausted overload retries): fall back to
-		// the cached prior, then local-only.
+		// the regional aggregator, then the cached prior, then local-only.
+		if d.Regional != nil {
+			if rp, rv, rerr := d.Regional.FetchPrior(dim); rerr == nil {
+				telemetry.DeviceRegionalFallbacks.Inc()
+				st.Degradation = DegradedRegional
+				st.PriorVersion = rv
+				st.FetchErr = err
+				// Deliberately NOT cached: the cache keys on cloud version
+				// numbers, and a region's store versions are a different
+				// counter — mixing them could fake a NotModified later.
+				return rp, st, nil
+			}
+		}
 		if cached, cv, ok := d.Cache.Get(); ok {
 			telemetry.CacheStale.Inc()
 			st.Degradation = DegradedCached
@@ -258,7 +284,14 @@ func (d *Device) RunWithStatus(c Cloud, x *mat.Dense, y []float64, report bool) 
 		if err != nil {
 			return nil, st, fmt.Errorf("edge: device %d: laplace: %w", d.ID, err)
 		}
-		_, err = c.ReportTask(dpprior.TaskPosterior{
+		// With a regional aggregator configured, reports go there: the
+		// region admits, pre-aggregates, and syncs upward in summarized
+		// batches, so the device never uploads straight to the cloud.
+		rc := c
+		if d.Regional != nil {
+			rc = d.Regional
+		}
+		_, err = rc.ReportTask(dpprior.TaskPosterior{
 			Mu:    res.Params,
 			Sigma: cov,
 			N:     x.Rows,

@@ -59,9 +59,18 @@ type muxResult struct {
 }
 
 // DialMux connects to addr, negotiates the wire codec per pref, and
-// returns a multiplexed client ready for concurrent callers.
+// returns a multiplexed client ready for concurrent callers. Under
+// PreferBinary the dial fails unless the connection settles on the
+// binary codec — no silent gob fallback.
 func DialMux(addr string, timeout time.Duration, pref wire.Preference) (*MuxClient, error) {
-	conn, err := dialTCP(addr, timeout)
+	return DialMuxFunc(func() (net.Conn, error) { return dialTCP(addr, timeout) }, timeout, pref)
+}
+
+// DialMuxFunc is DialMux over a caller-supplied dial function, for
+// uplinks that are not plain TCP dials: fault-injected links in chaos
+// tests, or a regional aggregator's gated cloud connection.
+func DialMuxFunc(dial func() (net.Conn, error), timeout time.Duration, pref wire.Preference) (*MuxClient, error) {
+	conn, err := dial()
 	if err != nil {
 		return nil, err
 	}
@@ -70,14 +79,23 @@ func DialMux(addr string, timeout time.Duration, pref wire.Preference) (*MuxClie
 		if nerr == nil {
 			if codec == wire.CodecBinary {
 				telemetry.WireNegotiateClientBinary.Inc()
-			} else {
-				telemetry.WireNegotiateClientGob.Inc()
+				return NewMuxClient(conn, codec), nil
 			}
+			if pref == wire.PreferBinary {
+				conn.Close()
+				telemetry.WireNegotiateClientStrict.Inc()
+				return nil, fmt.Errorf("edge: mux: binary codec required but server chose %s", codec)
+			}
+			telemetry.WireNegotiateClientGob.Inc()
 			return NewMuxClient(conn, codec), nil
 		}
 		conn.Close()
+		if pref == wire.PreferBinary {
+			telemetry.WireNegotiateClientStrict.Inc()
+			return nil, fmt.Errorf("edge: mux: binary codec required but negotiation failed (legacy gob-only server?): %w", nerr)
+		}
 		telemetry.WireNegotiateClientFallback.Inc()
-		if conn, err = dialTCP(addr, timeout); err != nil {
+		if conn, err = dial(); err != nil {
 			return nil, err
 		}
 	}
@@ -108,17 +126,29 @@ func NewMuxClient(conn net.Conn, codec wire.Codec) *MuxClient {
 // Codec reports the connection's negotiated codec.
 func (m *MuxClient) Codec() wire.Codec { return m.codec }
 
+// errMuxClosed marks a connection its owner closed deliberately, as
+// opposed to one a transport fault poisoned first.
+var errMuxClosed = errors.New("edge: mux: client closed")
+
 // Close poisons the connection: every in-flight call fails with a
-// closed-connection error and the reader exits.
+// closed-connection error and the reader exits. It returns the
+// transport error that had already poisoned the connection, if any —
+// first error wins, so the owner of a mux whose calls were failing
+// learns why — and nil when Close itself ended a healthy connection.
+// Close is idempotent: every call returns the same value.
 func (m *MuxClient) Close() error {
-	m.fail(errors.New("edge: mux: client closed"))
+	dead := m.fail(errMuxClosed)
 	m.readerDone.Wait()
-	return nil
+	if errors.Is(dead, errMuxClosed) {
+		return nil
+	}
+	return dead
 }
 
 // fail marks the client dead (first error wins), closes the connection,
-// and drains every queued waiter with the error.
-func (m *MuxClient) fail(err error) {
+// drains every queued waiter with the error, and returns the winning
+// dead error.
+func (m *MuxClient) fail(err error) error {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
 	if m.dead == nil {
@@ -130,7 +160,7 @@ func (m *MuxClient) fail(err error) {
 		case ch := <-m.pending:
 			ch <- muxResult{err: m.dead}
 		default:
-			return
+			return m.dead
 		}
 	}
 }

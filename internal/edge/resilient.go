@@ -138,7 +138,13 @@ func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) *R
 		}
 	}
 	if opts.WireCodec == wire.PreferAuto {
-		opts.WireCodec = wire.DefaultPreference()
+		if p, err := wire.DefaultPreference(); err != nil {
+			// The constructor has no error return; refusing to negotiate is
+			// the safe reading of a preference nobody can have meant.
+			logger.Warn("edge: invalid DRDP_WIRE ignored; negotiating automatically", "err", err)
+		} else {
+			opts.WireCodec = p
+		}
 	}
 	return &ResilientClient{
 		dial:    dial,
@@ -209,6 +215,14 @@ func (r *ResilientClient) connect(call *trace.Span) error {
 	} else {
 		codec, nerr := negotiate(conn, r.opts.DialTimeout)
 		switch {
+		case nerr != nil && r.opts.WireCodec == wire.PreferBinary:
+			// Strict mode: a handshake the server killed (legacy gob-only)
+			// must fail the attempt, not latch a silent gob downgrade.
+			conn.Close()
+			telemetry.WireNegotiateClientStrict.Inc()
+			nerr = fmt.Errorf("edge: binary codec required but negotiation failed (legacy gob-only server?): %w", nerr)
+			sp.EndErr(nerr)
+			return nerr
 		case nerr != nil:
 			// Legacy server (or a fault mid-handshake): the hello poisoned
 			// the stream, so redial and fall back to the universal codec.
@@ -226,6 +240,12 @@ func (r *ResilientClient) connect(call *trace.Span) error {
 		case codec == wire.CodecBinary:
 			telemetry.WireNegotiateClientBinary.Inc()
 			c = NewBinaryClient(wrap(conn))
+		case r.opts.WireCodec == wire.PreferBinary:
+			conn.Close()
+			telemetry.WireNegotiateClientStrict.Inc()
+			nerr = fmt.Errorf("edge: binary codec required but server chose %s", codec)
+			sp.EndErr(nerr)
+			return nerr
 		default:
 			telemetry.WireNegotiateClientGob.Inc()
 			c = NewClient(wrap(conn))

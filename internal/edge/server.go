@@ -462,6 +462,14 @@ func (s *CloudServer) rebuildLoop() {
 // again.
 func (s *CloudServer) watchdog() {
 	defer s.workerWg.Done()
+	// The poll interval derives from the mutable rebuild timeout, so a
+	// plain Ticker won't do — but the timer itself is reused across laps
+	// instead of allocating a fresh time.After every poll.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		timeout := time.Duration(s.rebuildTimeoutNs.Load())
 		poll := timeout / 4
@@ -471,10 +479,14 @@ func (s *CloudServer) watchdog() {
 		if poll > time.Second {
 			poll = time.Second
 		}
+		timer.Reset(poll)
 		select {
 		case <-s.stopCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return
-		case <-time.After(poll):
+		case <-timer.C:
 		}
 		since := s.buildingSince.Load()
 		stalled := since != 0 && time.Since(time.Unix(0, since)) > timeout

@@ -1,0 +1,308 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/drdp/drdp/internal/dpprior"
+	"github.com/drdp/drdp/internal/wire"
+)
+
+// The strict-binary half of the codec matrix: PreferBinary means
+// "binary or fail loudly". The old behavior — a phantom "binary"
+// preference that silently parsed to auto and happily fell back to
+// gob — is exactly the bug these tests pin shut.
+
+// TestStrictBinaryAgainstNegotiatingServer: PreferBinary against a
+// modern server settles on binary like auto does.
+func TestStrictBinaryAgainstNegotiatingServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	addr, _ := startServer(t, seedTasks(rng, 4, 3))
+	c, err := DialPreference(addr, time.Second, wire.PreferBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Codec() != wire.CodecBinary {
+		t.Fatalf("strict dial codec %v, want binary", c.Codec())
+	}
+	if _, _, err := c.FetchPrior(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictBinaryRefusesLegacyGobServer: PreferBinary against a
+// pre-negotiation server fails the dial instead of silently running
+// the session over gob.
+func TestStrictBinaryRefusesLegacyGobServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	addr, _ := startLegacyGobServer(t, seedTasks(rng, 4, 3))
+	c, err := DialPreference(addr, time.Second, wire.PreferBinary)
+	if err == nil {
+		c.Close()
+		t.Fatal("strict binary dial succeeded against a gob-only server")
+	}
+	if !strings.Contains(err.Error(), "binary codec required") {
+		t.Errorf("strict dial error %q does not name the strict refusal", err)
+	}
+}
+
+// TestStrictBinaryMuxRefusesLegacyGobServer: the multiplexed dial
+// enforces the same contract.
+func TestStrictBinaryMuxRefusesLegacyGobServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(232))
+	addr, _ := startLegacyGobServer(t, seedTasks(rng, 4, 3))
+	m, err := DialMux(addr, time.Second, wire.PreferBinary)
+	if err == nil {
+		m.Close()
+		t.Fatal("strict binary mux dial succeeded against a gob-only server")
+	}
+	if !strings.Contains(err.Error(), "binary codec required") {
+		t.Errorf("strict mux dial error %q does not name the strict refusal", err)
+	}
+	// Against a negotiating server the same preference works.
+	addr2, _ := startServer(t, seedTasks(rng, 4, 3))
+	m, err = DialMux(addr2, time.Second, wire.PreferBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Codec() != wire.CodecBinary {
+		t.Fatalf("strict mux codec %v, want binary", m.Codec())
+	}
+}
+
+// TestStrictBinaryResilientRefusesLegacyGobServer: the resilient
+// client must not latch gob-only under PreferBinary — every round trip
+// fails with the strict error rather than one of them silently
+// downgrading the session.
+func TestStrictBinaryResilientRefusesLegacyGobServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	addr, _ := startLegacyGobServer(t, seedTasks(rng, 4, 3))
+	rc := DialResilient(addr, ResilientOptions{
+		Retry:       RetryPolicy{MaxAttempts: 2, Base: time.Millisecond},
+		DialTimeout: 200 * time.Millisecond,
+		Seed:        1,
+		WireCodec:   wire.PreferBinary,
+	})
+	rc.sleep = func(time.Duration) {}
+	defer rc.Close()
+	if _, _, err := rc.FetchPrior(3); err == nil {
+		t.Fatal("strict resilient fetch succeeded against a gob-only server")
+	}
+	if rc.gobOnly {
+		t.Error("strict client latched gobOnly — that is the silent downgrade again")
+	}
+}
+
+// TestParsePreferenceRejectsUnknownWireFlag pins the user-facing
+// contract behind -wire and DRDP_WIRE: unknown codec names are
+// configuration errors, not silently "auto".
+func TestParsePreferenceRejectsUnknownWireFlag(t *testing.T) {
+	if _, err := wire.ParsePreference("binry"); err == nil {
+		t.Fatal("typo'd codec preference accepted")
+	}
+	p, err := wire.ParsePreference("binary")
+	if err != nil || p != wire.PreferBinary {
+		t.Fatalf(`ParsePreference("binary") = %v, %v`, p, err)
+	}
+}
+
+// pipeGobServer runs a minimal gob request loop on one end of a pipe
+// until n responses have been served, then (if kill is set) slams the
+// connection shut — the transport fault a mux client must surface.
+func pipeGobServer(t *testing.T, conn net.Conn, n int, kill bool) {
+	t.Helper()
+	go func() {
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		for i := 0; i < n; i++ {
+			var req Request
+			if dec.Decode(&req) != nil {
+				return
+			}
+			if enc.Encode(&Response{Version: uint64(i + 1)}) != nil {
+				return
+			}
+		}
+		if kill {
+			conn.Close()
+		} else {
+			// Keep draining so a healthy client close is the only ending.
+			for {
+				var req Request
+				if dec.Decode(&req) != nil {
+					return
+				}
+				if enc.Encode(&Response{}) != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// TestMuxCloseReturnsTransportError: closing a mux whose connection a
+// fault already poisoned returns that first error — the owner of a
+// failing uplink learns why — and a second Close reports the same,
+// idempotently.
+func TestMuxCloseReturnsTransportError(t *testing.T) {
+	a, b := net.Pipe()
+	pipeGobServer(t, b, 1, true)
+	m := NewMuxClient(a, wire.CodecGob)
+
+	if _, err := m.Stats(); err != nil {
+		t.Fatalf("first round trip: %v", err)
+	}
+	// The server slammed the connection after one response; the next
+	// call poisons the client with the receive error.
+	if _, err := m.Stats(); err == nil {
+		t.Fatal("round trip on a dead connection succeeded")
+	}
+
+	err := m.Close()
+	if err == nil {
+		t.Fatal("Close masked the transport error that poisoned the connection")
+	}
+	if errors.Is(err, errMuxClosed) {
+		t.Fatalf("Close returned the deliberate-close sentinel, want the transport error: %v", err)
+	}
+	if again := m.Close(); !errors.Is(again, err) && again == nil {
+		t.Errorf("second Close = %v, want the same recorded error", again)
+	}
+}
+
+// TestMuxCloseHealthyIsNil: deliberately closing a healthy connection
+// is not an error, and stays nil on repeat.
+func TestMuxCloseHealthyIsNil(t *testing.T) {
+	a, b := net.Pipe()
+	pipeGobServer(t, b, 1, false)
+	m := NewMuxClient(a, wire.CodecGob)
+	if _, err := m.Stats(); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("healthy Close = %v, want nil", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second healthy Close = %v, want nil", err)
+	}
+}
+
+// staticCloud serves one fixed prior; failingCloud fails everything
+// with a transport-looking error. Together they drive the regional
+// rung of the degradation ladder without sockets.
+type staticCloud struct {
+	prior   *dpprior.Prior
+	version uint64
+	reports []dpprior.TaskPosterior
+}
+
+func (s *staticCloud) FetchPrior(int) (*dpprior.Prior, uint64, error) {
+	return s.prior, s.version, nil
+}
+func (s *staticCloud) FetchPriorIfNewer(int, uint64) (*dpprior.Prior, uint64, error) {
+	return s.prior, s.version, nil
+}
+func (s *staticCloud) FetchPriorDelta(int, uint64, *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	return s.prior, s.version, nil
+}
+func (s *staticCloud) ReportTask(t dpprior.TaskPosterior) (uint64, error) {
+	s.reports = append(s.reports, t)
+	return s.version, nil
+}
+
+type failingCloud struct{ reports int }
+
+var errFakeLink = errors.New("edge_test: link down")
+
+func (f *failingCloud) FetchPrior(int) (*dpprior.Prior, uint64, error) { return nil, 0, errFakeLink }
+func (f *failingCloud) FetchPriorIfNewer(int, uint64) (*dpprior.Prior, uint64, error) {
+	return nil, 0, errFakeLink
+}
+func (f *failingCloud) FetchPriorDelta(int, uint64, *dpprior.Prior) (*dpprior.Prior, uint64, error) {
+	return nil, 0, errFakeLink
+}
+func (f *failingCloud) ReportTask(dpprior.TaskPosterior) (uint64, error) {
+	f.reports++
+	return 0, errFakeLink
+}
+
+// TestDeviceRegionalFallback: with the primary cloud dead and a
+// regional aggregator configured, the round runs on the regional prior
+// at DegradedRegional — above the cache on the ladder — and the report
+// goes to the region.
+func TestDeviceRegionalFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(420))
+	dev, train := testDevice(t, rng)
+	prior, err := dpprior.Build(seedTasks(rng, 4, 3), dpprior.BuildOptions{Alpha: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regional := &staticCloud{prior: prior, version: 7}
+	dev.Regional = regional
+
+	res, st, err := dev.RunWithStatus(&failingCloud{}, train.X, train.Y, true)
+	if err != nil || res == nil {
+		t.Fatalf("regional round failed: %v", err)
+	}
+	if st.Degradation != DegradedRegional || st.PriorVersion != 7 || st.FetchErr == nil {
+		t.Errorf("regional status %+v", st)
+	}
+	if len(regional.reports) != 1 {
+		t.Errorf("region saw %d reports, want 1 (reports route to the region)", len(regional.reports))
+	}
+}
+
+// TestDeviceLadderOrder walks one device down the full ladder:
+// fresh → regional → cached → local-only, each rung forced by killing
+// the next-better source.
+func TestDeviceLadderOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	dev, train := testDevice(t, rng)
+	prior, err := dpprior.Build(seedTasks(rng, 4, 3), dpprior.BuildOptions{Alpha: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewPriorCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Cache = cache
+	dev.FallbackLocal = true
+	healthy := &staticCloud{prior: prior, version: 3}
+	regional := &staticCloud{prior: prior, version: 9}
+
+	var got []Degradation
+	run := func(primary Cloud) {
+		t.Helper()
+		_, st, err := dev.RunWithStatus(primary, train.X, train.Y, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, st.Degradation)
+	}
+
+	run(healthy) // fresh, warms the cache
+	dev.Regional = regional
+	run(&failingCloud{}) // cloud dead → regional
+	dev.Regional = &failingCloud{}
+	run(&failingCloud{}) // region dead too → cached
+	dev.Cache = nil
+	run(&failingCloud{}) // cache gone → local-only
+
+	want := []Degradation{DegradedNone, DegradedRegional, DegradedCached, DegradedLocal}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v", got, want)
+		}
+	}
+	if DegradedRegional.String() != "regional-prior" {
+		t.Errorf("DegradedRegional.String() = %q", DegradedRegional.String())
+	}
+}

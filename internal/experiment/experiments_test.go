@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -294,5 +295,41 @@ func TestTable15Smoke(t *testing.T) {
 		if on[3] == "-" || on[4] == "-" {
 			t.Errorf("kill run at %s shards: missing failover/recovery timings: %v", on[0], on)
 		}
+	}
+}
+
+// TestTable18Smoke runs the regional-aggregation experiment in fast
+// mode and checks its acceptance criteria: the partition run recovers a
+// cloud prior byte-identical to its same-seed control, and regional
+// summarization cuts upload bytes at least 2x in both rows.
+func TestTable18Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table18Regions(RunConfig{Reps: 1, Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // partition off/on
+		t.Fatalf("table18 rows %d, want 2", len(tab.Rows))
+	}
+	off, on := tab.Rows[0], tab.Rows[1]
+	if off[0] != "off" || on[0] != "on" {
+		t.Fatalf("unexpected row layout: %v / %v", off, on)
+	}
+	if v := off[len(off)-1]; v != "baseline" {
+		t.Errorf("control row: prior verdict %q, want baseline", v)
+	}
+	if v := on[len(on)-1]; v != "byte-identical" {
+		t.Errorf("partition row: prior verdict %q, want byte-identical", v)
+	}
+	for _, row := range tab.Rows {
+		var red float64
+		if _, err := fmt.Sscanf(row[1], "%fx", &red); err != nil || red < 2 {
+			t.Errorf("partition=%s reduction %q, want >= 2x", row[0], row[1])
+		}
+	}
+	if on[6] != "yes" {
+		t.Errorf("partition row not recovered: %v", on)
 	}
 }

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/drdp/drdp/internal/sim"
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// Table18Regions measures the hierarchical edge → region → cloud tier:
+// cloud-upload byte reduction from regional pre-aggregation and device
+// accuracy, with and without a mid-run regional cloud partition. Every
+// partition run is checked against its same-seed control run for a
+// byte-identical final cloud prior — a partition that heals before the
+// next sync barrier must be invisible to the cloud — and the "prior"
+// column reports the verdict.
+func Table18Regions(cfg RunConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := &Table{
+		Title: "Table 18: regional aggregation — cloud-upload reduction and partition recovery (2 regions)",
+		Columns: []string{"partition", "reduction", "raw KB", "up KB",
+			"accuracy", "gossip", "recovered", "prior"},
+	}
+	rounds, perRound := 9, 6
+	if cfg.Fast {
+		rounds, perRound = 6, 4
+	}
+	// Same-seed control priors for the byte-identity check.
+	control := make(map[int64][]byte, cfg.Reps)
+	for _, partition := range []bool{false, true} {
+		var reduction, accuracy []float64
+		var rawB, upB int64
+		gossip := 0
+		identical, recovered := true, true
+		for _, seed := range Seeds(cfg.Seed, cfg.Reps) {
+			rcfg := sim.RegionsConfig{
+				Rounds:          rounds,
+				UploadsPerRound: perRound,
+				Partition:       partition,
+				Gossip:          partition,
+				Seed:            seed,
+				Logger:          telemetry.Discard(),
+			}
+			if cfg.Fast {
+				rcfg.PartitionEnd = 5
+				rcfg.RegionCutStart = 3
+			}
+			res, err := sim.RunRegions(rcfg)
+			if err != nil {
+				return nil, fmt.Errorf("table18: partition=%v seed=%d: %w", partition, seed, err)
+			}
+			reduction = append(reduction, res.Reduction)
+			accuracy = append(accuracy, res.Accuracy)
+			rawB += res.RawBytes
+			upB += res.UpBytes
+			if partition {
+				gossip += res.GossipInjected
+				recovered = recovered && res.Recovered
+				if !bytes.Equal(res.PriorBytes, control[seed]) {
+					identical = false
+				}
+			} else {
+				control[seed] = res.PriorBytes
+			}
+		}
+		verdict := "baseline"
+		rec := "-"
+		if partition {
+			verdict = "byte-identical"
+			if !identical {
+				verdict = "DIVERGED"
+			}
+			rec = map[bool]string{true: "yes", false: "NO"}[recovered]
+		}
+		onOff := map[bool]string{false: "off", true: "on"}[partition]
+		tab.AddRow(onOff,
+			fmt.Sprintf("%.1fx", Aggregate(reduction).Mean),
+			fmt.Sprintf("%.1f", float64(rawB)/1024),
+			fmt.Sprintf("%.1f", float64(upB)/1024),
+			fmt.Sprintf("%.3f", Aggregate(accuracy).Mean),
+			fmt.Sprintf("%d", gossip), rec, verdict)
+	}
+	return tab, nil
+}

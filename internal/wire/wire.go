@@ -72,7 +72,8 @@ func (c Codec) String() string {
 }
 
 // Preference is a client-side dial policy: negotiate for binary (with
-// the gob fallback) or skip negotiation entirely.
+// the gob fallback), require binary strictly, or skip negotiation
+// entirely.
 type Preference int
 
 // Dial preferences.
@@ -84,23 +85,59 @@ const (
 	// pre-negotiation client, used against legacy servers and by the
 	// dual-codec test matrix.
 	PreferGob
+	// PreferBinary sends the hello and requires the binary codec: a
+	// server that kills the handshake (legacy gob-only) or answers gob
+	// fails the dial with an error instead of silently falling back.
+	// Use it where a gob session would be a deployment bug — e.g. a
+	// regional uplink sized for the binary codec's byte budget.
+	PreferBinary
 )
 
-// ParsePreference maps a configuration string ("auto", "binary", "gob")
-// to a Preference; unknown values mean PreferAuto.
-func ParsePreference(s string) Preference {
-	if s == "gob" {
-		return PreferGob
+// String names the preference as it appears in flags and errors.
+func (p Preference) String() string {
+	switch p {
+	case PreferAuto:
+		return "auto"
+	case PreferGob:
+		return "gob"
+	case PreferBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Preference(%d)", int(p))
 	}
-	return PreferAuto
+}
+
+// ParsePreference maps a configuration string to a Preference: "" and
+// "auto" negotiate with gob fallback, "binary" requires the binary
+// codec strictly, "gob" skips negotiation. Any other value — including
+// the typo'd codec name that used to silently mean auto — is an error,
+// so a misconfigured -wire/DRDP_WIRE fails loudly instead of quietly
+// changing the fleet's codec mix.
+func ParsePreference(s string) (Preference, error) {
+	switch s {
+	case "", "auto":
+		return PreferAuto, nil
+	case "gob":
+		return PreferGob, nil
+	case "binary":
+		return PreferBinary, nil
+	default:
+		return PreferAuto, fmt.Errorf("wire: unknown codec preference %q (valid: auto, binary, gob)", s)
+	}
 }
 
 // DefaultPreference is the process-wide dial policy, read once from the
-// DRDP_WIRE environment variable ("gob" forces the fallback codec;
-// anything else negotiates). The chaos and cluster suites run twice,
-// once per value, to pin both codec paths.
-var DefaultPreference = sync.OnceValue(func() Preference {
-	return ParsePreference(os.Getenv("DRDP_WIRE"))
+// DRDP_WIRE environment variable ("gob" forces the fallback codec,
+// "binary" requires the binary codec strictly, ""/"auto" negotiates).
+// An unrecognized value is reported as an error alongside PreferAuto;
+// dial paths refuse to proceed on it. The chaos and cluster suites run
+// twice, once per value, to pin both codec paths.
+var DefaultPreference = sync.OnceValues(func() (Preference, error) {
+	p, err := ParsePreference(os.Getenv("DRDP_WIRE"))
+	if err != nil {
+		return PreferAuto, fmt.Errorf("DRDP_WIRE: %w", err)
+	}
+	return p, nil
 })
 
 // Negotiation constants.

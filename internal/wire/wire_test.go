@@ -348,14 +348,40 @@ func TestBinaryDecodeAllocBudget(t *testing.T) {
 	}
 }
 
-// TestParsePreference pins the configuration strings.
+// TestParsePreference pins the configuration strings: the three valid
+// modes parse, and anything else — including the typos that used to
+// silently mean auto — is rejected.
 func TestParsePreference(t *testing.T) {
-	if ParsePreference("gob") != PreferGob {
-		t.Error(`ParsePreference("gob") != PreferGob`)
+	for s, want := range map[string]Preference{
+		"":       PreferAuto,
+		"auto":   PreferAuto,
+		"gob":    PreferGob,
+		"binary": PreferBinary,
+	} {
+		got, err := ParsePreference(s)
+		if err != nil {
+			t.Errorf("ParsePreference(%q): unexpected error %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParsePreference(%q) = %v, want %v", s, got, want)
+		}
 	}
-	for _, s := range []string{"", "auto", "binary", "nonsense"} {
-		if ParsePreference(s) != PreferAuto {
-			t.Errorf("ParsePreference(%q) != PreferAuto", s)
+	for _, s := range []string{"nonsense", "Binary", "GOB", "auto ", "binry"} {
+		if _, err := ParsePreference(s); err == nil {
+			t.Errorf("ParsePreference(%q) accepted, want error", s)
+		}
+	}
+}
+
+// TestPreferenceString pins the flag-facing names.
+func TestPreferenceString(t *testing.T) {
+	for p, want := range map[Preference]string{
+		PreferAuto:   "auto",
+		PreferGob:    "gob",
+		PreferBinary: "binary",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
 		}
 	}
 }
