@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json bench-wire chaos chaos-gob chaos-region fuzz-wire trace-smoke
+.PHONY: all build vet test race check bench bench-json bench-wire chaos chaos-gob chaos-region chaos-disk fuzz-wire trace-smoke
 
 all: check
 
@@ -44,6 +44,20 @@ chaos-gob:
 chaos-region:
 	$(GO) test -race -count=2 -run 'Region|RunRegions|Mux|StrictBinary|Ladder' \
 		./internal/region/ ./internal/sim/ ./internal/edge/
+
+# Disk-fault chaos: the storage-and-gray-failure suites under the race
+# detector — FaultFS injection (short writes, write/fsync/rename errors,
+# ENOSPC, bit flips), store poisoning, scrub repair over the wire,
+# verdict-sidecar recovery, gray-leader demotion, hedged reads, and the
+# full RunDiskChaos scenario (bit rot + slow leader, byte-identical
+# repair, bounded p99) — plus the Table 19 record as a
+# BENCH_table19.json artifact.
+chaos-disk:
+	$(GO) test -race -count=2 \
+		-run 'Fault|Scrub|Poison|Sidecar|Verdict|Snapshot|DiskChaos|Gray|Hedge|Demot' \
+		./internal/store/ ./internal/cluster/ ./internal/sim/ ./internal/edge/
+	mkdir -p $(BENCH_OUT)
+	$(GO) run ./cmd/drdp-bench -fast -only table19 -json $(BENCH_OUT)
 
 # Wire codec gates: the microbenchmarks with allocation reporting, the
 # decode allocs/op budget (binary decode into reused buffers must stay

@@ -62,6 +62,7 @@ var jobs = []job{
 	{id: "table15", table: experiment.Table15ShardedCluster},
 	{id: "table16", table: experiment.Table16WireSpeed},
 	{id: "table18", table: experiment.Table18Regions},
+	{id: "table19", table: experiment.Table19DiskChaos},
 }
 
 func main() {
@@ -73,7 +74,7 @@ func main() {
 
 func run() error {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (table1..table18, fig1..fig12); empty = all")
+		only     = flag.String("only", "", "comma-separated experiment ids (table1..table19, fig1..fig12); empty = all")
 		csvDir   = flag.String("csv", "", "directory for CSV output (created if missing)")
 		jsonDir  = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (created if missing)")
 		reps     = flag.Int("reps", 3, "repetitions (seeds) per configuration")

@@ -13,6 +13,14 @@
 //
 //	drdp-cloud -addr :7600 -role leader -sync-replicas 1
 //	drdp-cloud -addr :7601 -role follower -leader-addr 127.0.0.1:7600 -follower-id 1 -data-dir /var/lib/drdp-f1
+//	drdp-cloud -addr :7601 -role follower -leader-addr 127.0.0.1:7600 -follower-id 1 -data-dir /var/lib/drdp-f1 -scrub-every 1m
+//
+// -scrub-every starts a background integrity scrubber over the durable
+// store: it CRC-walks the task log and verdict sidecar and verifies the
+// snapshot, quarantining corrupt ranges. A follower repairs them by
+// re-pulling verbatim frames from its leader (ending byte-identical); a
+// leader or standalone node scrubs detect-only and relies on recovery
+// truncation plus re-replication.
 //
 // A follower streams the leader's append-only log (verbatim frames,
 // fsync-gated), serves reads from the prior it builds locally, and
@@ -87,6 +95,8 @@ func run() error {
 		quarantine     = flag.Bool("quarantine", false, "statistically quarantine outlier task posteriors out of prior rebuilds")
 		trimFrac       = flag.Float64("trim-frac", 0, "max fraction of stored tasks one quarantine round may trim (0 = default)")
 		rebuildTimeout = flag.Duration("rebuild-timeout", edge.DefaultRebuildTimeout, "rebuild watchdog stall threshold (flags via telemetry and /healthz)")
+
+		scrubEvery = flag.Duration("scrub-every", 0, "background integrity-scrub cadence for the durable store: CRC-walk the task log, verdict sidecar, and snapshot; a follower repairs quarantined ranges from its leader (0 = off)")
 
 		role         = flag.String("role", "", "replica role: leader|follower (empty = standalone; leader additionally dedupes retried uploads)")
 		leaderAddr   = flag.String("leader-addr", "", "leader address to replicate from (required with -role follower)")
@@ -229,6 +239,32 @@ func run() error {
 	default:
 		srv.Close()
 		return fmt.Errorf("unknown -role %q (want leader|follower)", *role)
+	}
+
+	if *scrubEvery > 0 {
+		// A follower repairs quarantined ranges by re-pulling verbatim
+		// frames from its leader; a leader or standalone scrubs
+		// detect-only (there is nobody holding more authoritative bytes).
+		src := func() store.RepairSource {
+			if *role == "follower" {
+				return cluster.NewPullRepairSource(*leaderAddr, cluster.DefaultScrubTimeout)
+			}
+			return nil
+		}
+		onScrub := func(rep store.ScrubReport, err error) {
+			if err == nil && rep.Clean() {
+				return
+			}
+			logger.Warn("scrub pass", "frames", rep.FramesChecked,
+				"corrupt", rep.CorruptFrames, "repaired", rep.RepairedFrames,
+				"verdicts-rewritten", rep.VerdictsRewritten,
+				"snapshot-repaired", rep.SnapshotRepaired,
+				"poison-cleared", rep.PoisonCleared, "err", err)
+		}
+		scrubber := st.StartScrubber(*scrubEvery, src, onScrub)
+		defer scrubber.Close()
+		logger.Info("integrity scrubber started", "every", *scrubEvery,
+			"repairs", *role == "follower")
 	}
 
 	// A signal shuts down in order: stop replicating, stop accepting,

@@ -19,9 +19,19 @@
 // prints each round's merged span tree (edge spans plus every node's
 // serve spans) afterwards; -trace-out FILE also writes the raw
 // flight-recorder snapshot as JSON (readable with drdp-trace).
+//
+// With -disk-chaos the command runs the disk-fault chaos scenario on a
+// real 3-replica shard: bit rot on one follower's disk plus a
+// slow-but-alive leader mid-run, defended by the background scrubber
+// (byte-identical repair over the wire), the coordinator's gray-failure
+// demotion, and the client's hedged reads (-hedge sets the hedge delay):
+//
+//	drdp-sim -disk-chaos
+//	drdp-sim -disk-chaos -hedge 20ms -rounds 12 -tasks-per-round 4
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -76,9 +86,15 @@ func run() error {
 		killRound   = flag.Int("kill-round", 2, "cluster: round before which the kill fires")
 		traceAudit  = flag.Bool("trace-audit", false, "cluster: sample every trace and print per-round span trees after the run")
 		traceOut    = flag.String("trace-out", "", "cluster: write the flight-recorder snapshot as JSON to this file (implies -trace-audit)")
+
+		diskChaos = flag.Bool("disk-chaos", false, "run the disk-fault chaos scenario (bit rot + gray leader on a 3-replica shard) instead of the fleet simulator")
+		hedge     = flag.Duration("hedge", 0, "disk-chaos: client hedged-read delay (0 = scenario default)")
 	)
 	flag.Parse()
 
+	if *diskChaos {
+		return runDiskChaos(*rounds, *perRound, *dim, *hedge, *seed)
+	}
 	if *clusterMode {
 		return runCluster(*shards, *replicas, *rounds, *perRound, *dim, *killShard, *killRound, *seed,
 			*traceAudit || *traceOut != "", *traceOut)
@@ -227,6 +243,60 @@ func runCluster(shards, replicas, rounds, perRound, dim, killShard, killRound in
 			fmt.Printf("trace snapshot: %d recent + %d notable traces written to %s\n",
 				len(res.Traces.Recent), len(res.Traces.Notable), traceOut)
 		}
+	}
+	return nil
+}
+
+// runDiskChaos drives the disk-fault chaos scenario (bit rot on one
+// follower + a gray leader) twice — a fault-free control run, then the
+// chaos run over the same seed — and prints what each defense bought,
+// ending with the byte-identity verdict the scenario is built around.
+func runDiskChaos(rounds, perRound, dim int, hedge time.Duration, seed int64) error {
+	logger := telemetry.NewLogger(slog.LevelInfo).With("component", "drdp-sim")
+	run := func(chaos bool) (*sim.DiskChaosResult, error) {
+		dir, err := os.MkdirTemp("", "drdp-disk-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		return sim.RunDiskChaos(sim.DiskChaosConfig{
+			Rounds:        rounds,
+			TasksPerRound: perRound,
+			Dim:           dim,
+			Dir:           dir,
+			Chaos:         chaos,
+			HedgeDelay:    hedge,
+			Seed:          seed,
+			Logger:        logger,
+		})
+	}
+	control, err := run(false)
+	if err != nil {
+		return fmt.Errorf("control run: %w", err)
+	}
+	chaos, err := run(true)
+	if err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+	fmt.Printf("disk chaos: %d replicas, %d tasks over %d rounds in %v (control %v)\n",
+		chaos.Replicas, chaos.Tasks, chaos.Rounds,
+		chaos.Elapsed.Round(time.Millisecond), control.Elapsed.Round(time.Millisecond))
+	fmt.Printf("faults: %d bytes rotted on %s; gray leader %s demoted in %v\n",
+		chaos.RotFlips, chaos.Rot, chaos.Demoted, chaos.DemotionTime.Round(time.Millisecond))
+	fmt.Printf("scrub: %.0f frames repaired over the wire; rotted log byte-identical to leader: %v\n",
+		chaos.ScrubRepairedFrames, chaos.Repaired)
+	fmt.Printf("hedged reads: %.0f fired, %.0f won, %.0f cancelled; read p99 %v (control %v), round p99 %v (control %v)\n",
+		chaos.HedgeFired, chaos.HedgeWon, chaos.HedgeCancelled,
+		chaos.ReadP99.Round(time.Millisecond), control.ReadP99.Round(time.Millisecond),
+		chaos.RoundP99.Round(time.Millisecond), control.RoundP99.Round(time.Millisecond))
+	verdict := "byte-identical"
+	if !bytes.Equal(chaos.PriorBytes, control.PriorBytes) {
+		verdict = "DIVERGED"
+	}
+	fmt.Printf("final: prior version %d, %d components; chaos vs control prior: %s\n",
+		chaos.FinalVersion, chaos.MergedComponents, verdict)
+	if verdict != "byte-identical" || !chaos.Repaired {
+		return fmt.Errorf("disk chaos run failed its acceptance criteria")
 	}
 	return nil
 }

@@ -36,6 +36,10 @@ type ShardedClient struct {
 	applied []uint64         // per shard: highest built version applied
 	priors  []*dpprior.Prior // per shard: cached prior at applied[i]
 
+	hedge  *HedgeConfig    // hedged shard reads (nil = sequential only)
+	lat    []time.Duration // ring of recent read latencies (adaptive hedge delay)
+	latIdx int
+
 	parent *trace.Span // round span set by the caller (nil = untraced)
 	op     *trace.Span // current operation span, nested under parent
 }
@@ -289,7 +293,30 @@ func (c *ShardedClient) shardPrior(shard, dim int) (*dpprior.Prior, uint64, erro
 	order := append(append([]string(nil), sr.Followers...), sr.Leader)
 	floor := c.applied[shard]
 	var lastErr error
+	if c.hedge != nil && len(order) >= 2 {
+		// Race the first two replicas; a decisive answer settles the read.
+		// Both legs indecisive (lagging, unreachable) falls through to a
+		// sequential scan of the remaining replicas.
+		r, herr := c.hedgedFetch(shard, dim, order[:2], floor)
+		if r != nil {
+			if r.err != nil {
+				return nil, 0, r.err // cold shard: same answer everywhere
+			}
+			if r.p == nil { // not modified: cache is current
+				return c.priors[shard], floor, nil
+			}
+			c.priors[shard] = r.p
+			c.applied[shard] = r.v
+			return r.p, r.v, nil
+		}
+		lastErr = herr
+		order = order[2:]
+		if len(order) == 0 {
+			return nil, 0, fmt.Errorf("cluster: shard %d unreachable: %w", shard, lastErr)
+		}
+	}
 	for _, addr := range order {
+		start := time.Now()
 		p, v, err := c.conn(addr).FetchPriorDeltaMin(dim, floor, floor, c.priors[shard])
 		if err != nil {
 			lastErr = err
@@ -311,6 +338,7 @@ func (c *ShardedClient) shardPrior(shard, dim int) (*dpprior.Prior, uint64, erro
 				continue // transport failure: next replica
 			}
 		}
+		c.recordLatency(time.Since(start))
 		if p == nil { // not modified: cache is current
 			return c.priors[shard], floor, nil
 		}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/drdp/drdp/internal/dpprior"
 	"github.com/drdp/drdp/internal/edge"
+	"github.com/drdp/drdp/internal/store"
 )
 
 // Config sizes a local cluster (the sim/test harness: every node in
@@ -32,6 +33,18 @@ type Config struct {
 	PullInterval  time.Duration
 	ProbeInterval time.Duration
 	FailThreshold int
+	// GrayLatency arms gray-failure detection: a leader whose probe
+	// latency EWMA stays above it for GrayAfter consecutive probes is
+	// demoted, not failed over (0 = disabled). Keep it well under the
+	// probe timeout or ordinary failover fires first.
+	GrayLatency time.Duration
+	GrayAfter   int
+	// ScrubEvery runs each node's background integrity scrub at that
+	// cadence (0 = no scrubbing). Followers repair from their leader.
+	ScrubEvery time.Duration
+	// NodeFS, when set, supplies the filesystem backing each node's
+	// store — the disk-fault chaos hook (nil result = real filesystem).
+	NodeFS func(shard, replica int) store.FS
 	// Seed drives every node's jitter deterministically.
 	Seed int64
 	// Admission configures leader-side quarantine.
@@ -66,9 +79,13 @@ func Start(cfg Config) (*Cluster, error) {
 				SyncReplicas: cfg.SyncReplicas,
 				AckTimeout:   cfg.AckTimeout,
 				PullInterval: cfg.PullInterval,
+				ScrubEvery:   cfg.ScrubEvery,
 				Seed:         cfg.Seed,
 				Admission:    cfg.Admission,
 				Logger:       cfg.Logger,
+			}
+			if cfg.NodeFS != nil {
+				ncfg.FS = cfg.NodeFS(s, r)
 			}
 			if cfg.Dir != "" {
 				ncfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("s%d", s), fmt.Sprintf("r%d", r))
@@ -88,6 +105,9 @@ func Start(cfg Config) (*Cluster, error) {
 	co, err := NewCoordinator(c.nodes, cfg.ProbeInterval, cfg.FailThreshold, cfg.Logger)
 	if err != nil {
 		return fail(err)
+	}
+	if cfg.GrayLatency > 0 {
+		co.SetGrayPolicy(cfg.GrayLatency, cfg.GrayAfter)
 	}
 	c.coord = co
 	return c, nil

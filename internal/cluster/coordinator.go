@@ -24,6 +24,12 @@ const (
 	DefaultFailThreshold = 3
 	// DefaultProbeTimeout bounds one probe round trip.
 	DefaultProbeTimeout = 500 * time.Millisecond
+	// DefaultGrayCooldown is how long a demoted-for-slowness node is
+	// passed over as a promotion candidate. A gray node usually has the
+	// longest log — it was the leader until moments ago — so without a
+	// cooldown the next trip promotes it right back and leadership
+	// ping-pongs between the slow node and everyone else.
+	DefaultGrayCooldown = 30 * time.Second
 )
 
 // Coordinator owns the shard map: it serves GetShardMap to edges
@@ -44,6 +50,16 @@ type Coordinator struct {
 	nodes    [][]*Node // [shard][replica]; nil entries are dead nodes
 	failures []int
 	addr     string
+
+	// Gray-failure policy (SetGrayPolicy): a leader whose EWMA of
+	// successful probe latency stays above grayLatency for grayAfter
+	// consecutive probes is demoted — alive, but too slow to lead.
+	grayLatency  time.Duration
+	grayAfter    int
+	grayCooldown time.Duration
+	ewma         []float64            // per-shard probe-latency EWMA, seconds; 0 = no sample yet
+	grayCount    []int                // consecutive over-threshold probes per shard
+	demotedAt    map[string]time.Time // addr → when it was demoted for slowness
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -71,6 +87,10 @@ func NewCoordinator(nodes [][]*Node, probeInterval time.Duration, failThreshold 
 		logger:        telemetry.OrDefault(logger),
 		nodes:         nodes,
 		failures:      make([]int, len(nodes)),
+		grayCooldown:  DefaultGrayCooldown,
+		ewma:          make([]float64, len(nodes)),
+		grayCount:     make([]int, len(nodes)),
+		demotedAt:     make(map[string]time.Time),
 		stopCh:        make(chan struct{}),
 	}
 	m := edge.ShardMap{Version: 1}
@@ -229,9 +249,7 @@ func (co *Coordinator) probeLoop() {
 		for shard, addr := range leaders {
 			start := time.Now()
 			if co.probe(addr) {
-				co.mu.Lock()
-				co.failures[shard] = 0
-				co.mu.Unlock()
+				co.observeHealthy(shard, addr, time.Since(start))
 				continue
 			}
 			// Only FAILED probes are retro-recorded: healthy probes at the
@@ -239,9 +257,11 @@ func (co *Coordinator) probeLoop() {
 			trace.Default.Record("probe", start, time.Since(start), errProbeFailed,
 				trace.Int("shard", int64(shard)), trace.Str("leader", addr))
 			co.mu.Lock()
+			name := co.nodeNameLocked(shard, addr)
 			co.failures[shard]++
 			trip := co.failures[shard] >= co.failThreshold
 			co.mu.Unlock()
+			telemetry.ReplicaHealthGauge(name).Set(0)
 			if trip {
 				co.failover(shard)
 			}
@@ -251,6 +271,112 @@ func (co *Coordinator) probeLoop() {
 
 // errProbeFailed marks a failed liveness probe in the flight recorder.
 var errProbeFailed = errors.New("cluster: leader probe failed")
+
+// SetGrayPolicy arms gray-failure detection (safe on a live
+// coordinator): when the EWMA of a leader's successful probe latency
+// stays above latency for after consecutive probes (0 = the fail
+// threshold), the leader is demoted — the best follower is promoted and
+// the slow leader stays in the replica set as a follower. latency must
+// stay well under the probe timeout, or a slow leader reads as dead and
+// ordinary failover wins the race. Zero latency disarms.
+func (co *Coordinator) SetGrayPolicy(latency time.Duration, after int) {
+	co.mu.Lock()
+	co.grayLatency = latency
+	co.grayAfter = after
+	if co.grayAfter <= 0 {
+		co.grayAfter = co.failThreshold
+	}
+	co.mu.Unlock()
+}
+
+// grayAlpha weights the newest sample in the probe-latency EWMA: high
+// enough that a few slow probes move the average, low enough that one
+// scheduler hiccup does not demote a healthy leader.
+const grayAlpha = 0.3
+
+// observeHealthy folds one successful probe into the shard's latency
+// EWMA, publishes the replica health score, and demotes the leader when
+// the gray policy trips.
+func (co *Coordinator) observeHealthy(shard int, addr string, rtt time.Duration) {
+	co.mu.Lock()
+	name := co.nodeNameLocked(shard, addr)
+	co.failures[shard] = 0
+	if co.ewma[shard] == 0 {
+		co.ewma[shard] = rtt.Seconds()
+	} else {
+		co.ewma[shard] = grayAlpha*rtt.Seconds() + (1-grayAlpha)*co.ewma[shard]
+	}
+	avg := co.ewma[shard]
+	gray := co.grayLatency.Seconds()
+	trip := false
+	if co.grayLatency > 0 && avg > gray {
+		co.grayCount[shard]++
+		trip = co.grayCount[shard] >= co.grayAfter
+		co.logger.Debug("cluster: probe over gray threshold",
+			"shard", shard, "leader", name, "rtt", rtt,
+			"ewma-ms", avg*1e3, "count", co.grayCount[shard])
+	} else {
+		co.grayCount[shard] = 0
+	}
+	co.mu.Unlock()
+	// Health score in [0,1]: 1 at or under the gray threshold, decaying
+	// toward 0 as the EWMA overshoots it. Without a policy every live
+	// leader scores 1 — the gauge still distinguishes alive from dead.
+	score := 1.0
+	if gray > 0 && avg > gray {
+		score = gray / avg
+	}
+	telemetry.ReplicaHealthGauge(name).Set(score)
+	if trip {
+		co.demote(shard)
+	}
+}
+
+// nodeNameLocked resolves a replica address to its metric label,
+// falling back to the address for nodes the coordinator no longer
+// tracks. Caller holds co.mu.
+func (co *Coordinator) nodeNameLocked(shard int, addr string) string {
+	for _, n := range co.nodes[shard] {
+		if n != nil && n.Addr() == addr {
+			return n.Name()
+		}
+	}
+	return addr
+}
+
+// bestFollowerLocked picks the promotion target among reps, excluding
+// the current leader at excludeAddr: the longest durable log (highest
+// store version), ties broken by the lowest replica index (the scan
+// order is ascending and > is strict), so every coordinator decision
+// is deterministic given the same observations. Nodes demoted for
+// slowness within the gray cooldown are passed over — a gray node
+// usually holds the longest log, and promoting it right back
+// ping-pongs leadership — unless no other candidate exists: slow beats
+// unavailable. Caller holds co.mu.
+func (co *Coordinator) bestFollowerLocked(reps []*Node, excludeAddr string) (int, uint64) {
+	best, cooling := -1, -1
+	var bestVer, coolingVer uint64
+	now := time.Now()
+	for i, n := range reps {
+		if n == nil || n.Addr() == excludeAddr {
+			continue
+		}
+		v := n.Server().Store().Version()
+		if at, ok := co.demotedAt[n.Addr()]; ok && now.Sub(at) < co.grayCooldown {
+			if cooling == -1 || v > coolingVer {
+				cooling, coolingVer = i, v
+			}
+			continue
+		}
+		if best == -1 || v > bestVer {
+			best, bestVer = i, v
+		}
+	}
+	if best == -1 {
+		return cooling, coolingVer
+	}
+	return best, bestVer
+}
 
 // probe round-trips one GetStats against a leader. A live listener that
 // answers anything classifiable counts as alive; only transport-level
@@ -287,19 +413,7 @@ func (co *Coordinator) failover(shard int) {
 	reps := co.nodes[shard]
 	deadAddr := co.m.Shards[shard].Leader
 	sp.SetAttr(trace.Str("dead", deadAddr))
-	best := -1
-	var bestVer uint64
-	for i, n := range reps {
-		if n == nil || n.Addr() == deadAddr {
-			continue
-		}
-		v := n.Server().Store().Version()
-		if best == -1 || v > bestVer {
-			best, bestVer = i, v
-		}
-		// Equal versions keep the earlier (lowest-index) replica: the scan
-		// order is ascending and > is strict.
-	}
+	best, bestVer := co.bestFollowerLocked(reps, deadAddr)
 	if best == -1 {
 		sp.Event("no-survivor")
 		co.logger.Error("cluster: shard has no surviving replica to promote", "shard", shard)
@@ -337,6 +451,75 @@ func (co *Coordinator) failover(shard int) {
 	telemetry.ClusterPromotions.Inc()
 	co.logger.Warn("cluster: leader failover",
 		"shard", shard, "dead", deadAddr, "promoted", promoted.Name(),
+		"log-version", bestVer, "map-version", co.m.Version)
+}
+
+// demote handles a gray leader — alive but persistently slow. The best
+// follower is promoted exactly as in failover, but the old leader is
+// kept in the replica set: demoted in place (writes refused from the
+// next request on) and repointed at the new leader as an ordinary
+// pulling follower. Its log is intact and up to date, so it keeps
+// serving version-gated reads, and after the gray cooldown it is a
+// promotion candidate again.
+func (co *Coordinator) demote(shard int) {
+	sp := trace.Default.StartTrace("demotion", trace.Int("shard", int64(shard)))
+	sp.Pin()
+	defer sp.End()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		return
+	}
+	reps := co.nodes[shard]
+	slowAddr := co.m.Shards[shard].Leader
+	sp.SetAttr(trace.Str("slow", slowAddr))
+	var old *Node
+	for _, n := range reps {
+		if n != nil && n.Addr() == slowAddr {
+			old = n
+		}
+	}
+	best, bestVer := co.bestFollowerLocked(reps, slowAddr)
+	if best == -1 || old == nil {
+		// Single-replica shard (or the slow leader is already untracked):
+		// nothing to demote to. Slow beats unavailable.
+		sp.Event("no-follower")
+		co.grayCount[shard] = 0
+		return
+	}
+	// Demote before promoting so there is never a moment with two
+	// writable leaders; writes racing the switch get CodeNotLeader and
+	// re-resolve through the bumped map.
+	old.Server().SetFollower(true)
+	promoted := reps[best]
+	surviving := 0
+	for _, n := range reps {
+		if n != nil && n != promoted {
+			surviving++
+		}
+	}
+	promoted.Promote(surviving)
+	sp.Event("promoted", trace.Str("node", promoted.Name()),
+		trace.Int("log-version", int64(bestVer)), trace.Int("followers", int64(surviving)))
+	sr := edge.ShardReplicas{Leader: promoted.Addr()}
+	for _, n := range reps {
+		if n != nil && n != promoted {
+			sr.Followers = append(sr.Followers, n.Addr())
+			n.Follow(promoted.Addr())
+			sp.Event("repoint", trace.Str("node", n.Name()))
+		}
+	}
+	co.m.Shards[shard] = sr
+	co.m.Version++
+	sp.SetAttr(trace.Int("map-version", int64(co.m.Version)))
+	co.failures[shard] = 0
+	co.grayCount[shard] = 0
+	co.ewma[shard] = 0 // the new leader starts with a fresh latency history
+	co.demotedAt[old.Addr()] = time.Now()
+	telemetry.ClusterDemotions.Inc()
+	telemetry.Events.RecordKV("cluster", "demoted", "node", old.Name())
+	co.logger.Warn("cluster: gray leader demoted",
+		"shard", shard, "slow", old.Name(), "promoted", promoted.Name(),
 		"log-version", bestVer, "map-version", co.m.Version)
 }
 

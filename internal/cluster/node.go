@@ -57,6 +57,13 @@ type NodeConfig struct {
 	Replica int // replica index within the shard; 0 starts as leader
 	// Dir is the node's store directory ("" = memory-only).
 	Dir string
+	// FS, when set, backs the node's store files — the disk-fault chaos
+	// hook (nil = the real filesystem).
+	FS store.FS
+	// ScrubEvery, when positive, runs a background integrity scrub of the
+	// node's store at that cadence. A follower repairs quarantined ranges
+	// from its current leader; a leader scrubs detect-only.
+	ScrubEvery time.Duration
 	// Build seeds the node's prior builder; every replica of a shard must
 	// share it for byte-identical priors.
 	Build dpprior.BuildOptions
@@ -96,6 +103,7 @@ type Node struct {
 	pullWg     sync.WaitGroup
 	lag        uint64
 	healthStop func()
+	scrubber   *store.Scrubber
 	closed     bool
 }
 
@@ -112,7 +120,7 @@ func (n *Node) Server() *edge.CloudServer { return n.srv }
 // port, and — when cfg.LeaderAddr is set — begins following that leader.
 func StartNode(cfg NodeConfig) (*Node, error) {
 	logger := telemetry.OrDefault(cfg.Logger)
-	st, err := store.Open(store.Options{Dir: cfg.Dir, Logger: logger, Validate: validateTask})
+	st, err := store.Open(store.Options{Dir: cfg.Dir, FS: cfg.FS, Logger: logger, Validate: validateTask})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d/%d store: %w", cfg.Shard, cfg.Replica, err)
 	}
@@ -138,7 +146,37 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		srv.SetFollower(true)
 		n.Follow(cfg.LeaderAddr)
 	}
+	if cfg.ScrubEvery > 0 {
+		n.scrubber = st.StartScrubber(cfg.ScrubEvery, n.repairSource, n.onScrub)
+	}
 	return n, nil
+}
+
+// repairSource resolves where this pass's scrub may repair from: the
+// node's current leader when it is a follower, detect-only otherwise.
+// Resolved fresh each pass so a post-failover scrub pulls from the new
+// leader; the scrubber closes the returned source after the pass.
+func (n *Node) repairSource() store.RepairSource {
+	n.mu.Lock()
+	addr := n.leaderAddr
+	n.mu.Unlock()
+	if addr == "" || !n.srv.IsFollower() {
+		return nil
+	}
+	return NewPullRepairSource(addr, DefaultScrubTimeout)
+}
+
+// onScrub logs any pass that found or fixed something; clean passes at
+// scrub cadence would only be noise.
+func (n *Node) onScrub(rep store.ScrubReport, err error) {
+	if err == nil && rep.Clean() {
+		return
+	}
+	n.logger.Warn("cluster: scrub pass", "node", n.Name(),
+		"frames", rep.FramesChecked, "corrupt", rep.CorruptFrames,
+		"repaired", rep.RepairedFrames, "verdicts-rewritten", rep.VerdictsRewritten,
+		"snapshot-repaired", rep.SnapshotRepaired, "poison-cleared", rep.PoisonCleared,
+		"err", err)
 }
 
 // validateTask is the store's recovery-time semantic check (dimension 0
@@ -375,6 +413,9 @@ func (n *Node) Close() error {
 	}
 	n.mu.Unlock()
 	n.pullWg.Wait()
+	if n.scrubber != nil {
+		n.scrubber.Close()
+	}
 	if n.healthStop != nil {
 		n.healthStop()
 	}

@@ -184,13 +184,19 @@ func (r *ResilientClient) PullLog(followerID int, afterSeq uint64, maxFrames int
 // recorded as its acknowledgement first (so semi-sync writers waiting on
 // it unblock even when no new frames exist), then frames after it are
 // shipped together with the verdict sidecar.
+//
+// Replication pulls (FollowerID > 0) are refused on followers — the
+// chain is follower→leader only. Anonymous pulls (FollowerID <= 0) are
+// served by any replica: they are how a scrubber repairs a quarantined
+// log range from whichever peer is reachable, and the frames are
+// verbatim leader bytes wherever they are pulled from.
 func (s *CloudServer) servePullLog(req *Request, sp *trace.Span) *Response {
-	if s.IsFollower() {
-		telemetry.ServerNotLeader.Inc()
-		sp.Event("not-leader")
-		return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
-	}
 	if req.FollowerID > 0 {
+		if s.IsFollower() {
+			telemetry.ServerNotLeader.Inc()
+			sp.Event("not-leader")
+			return &Response{Err: errNotLeader.Error(), Code: CodeNotLeader}
+		}
 		s.recordAck(req.FollowerID, req.AfterSeq)
 	}
 	frames, upTo, err := s.st.FramesSince(req.AfterSeq, req.MaxFrames)

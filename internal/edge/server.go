@@ -97,6 +97,12 @@ type CloudServer struct {
 	// CodeNotLeader, the store advances only through ApplyReplicated.
 	follower atomic.Bool
 
+	// serveDelayNs stalls every dispatch by this long — the gray-failure
+	// chaos hook: the replica stays alive (probes answer, TCP accepts)
+	// but every answer is slow, which is exactly the failure mode the
+	// coordinator's latency scoring must catch. Set via SetServeDelay.
+	serveDelayNs atomic.Int64
+
 	// ackMu guards per-follower acknowledgements; ackCh is closed and
 	// replaced whenever an ack advances, releasing semi-sync waiters.
 	ackMu sync.Mutex
@@ -1127,7 +1133,17 @@ func (s *CloudServer) servedPrior(req *Request, sp *trace.Span) (*dpprior.Prior,
 	return p, version, nil
 }
 
+// SetServeDelay makes every subsequent dispatch sleep for d before
+// answering (0 restores normal service). Safe on a live server. This is
+// the gray-failure injection point: unlike killing the process, the
+// replica keeps accepting connections and answering probes — just
+// slowly.
+func (s *CloudServer) SetServeDelay(d time.Duration) { s.serveDelayNs.Store(int64(d)) }
+
 func (s *CloudServer) dispatch(req *Request, sp *trace.Span) *Response {
+	if d := s.serveDelayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	switch req.Kind {
 	case GetPrior:
 		p, version, errResp := s.servedPrior(req, sp)

@@ -333,3 +333,38 @@ func TestTable18Smoke(t *testing.T) {
 		t.Errorf("partition row not recovered: %v", on)
 	}
 }
+
+// TestTable19Smoke runs the disk-fault chaos experiment in fast mode
+// and checks its acceptance criterion: the chaos run repairs the rotted
+// log and converges to a prior byte-identical to its same-seed control,
+// with demotion/scrub/hedge columns populated.
+func TestTable19Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner; skip in -short")
+	}
+	tab, err := Table19DiskChaos(RunConfig{Reps: 1, Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // chaos off/on
+		t.Fatalf("table19 rows %d, want 2", len(tab.Rows))
+	}
+	off, on := tab.Rows[0], tab.Rows[1]
+	if off[0] != "off" || on[0] != "on" {
+		t.Fatalf("unexpected row layout: %v / %v", off, on)
+	}
+	if v := off[len(off)-1]; v != "baseline" {
+		t.Errorf("control row: prior verdict %q, want baseline", v)
+	}
+	if v := on[len(on)-1]; v != "byte-identical" {
+		t.Errorf("chaos row: prior verdict %q, want byte-identical", v)
+	}
+	for i, col := range []string{"demote ms", "rot flips", "scrubbed", "hedges"} {
+		if on[3+i] == "-" {
+			t.Errorf("chaos row missing %s: %v", col, on)
+		}
+		if off[3+i] != "-" {
+			t.Errorf("control row has %s: %v", col, off)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/drdp/drdp/internal/telemetry"
+)
+
+// openFault opens a store in dir under a FaultFS with the given plan,
+// disarmed so the open itself runs clean.
+func openFault(t *testing.T, dir string, plan FaultPlan) (*Store, *FaultFS) {
+	t.Helper()
+	ffs := NewFaultFS(nil, plan)
+	ffs.Disarm()
+	s, err := Open(Options{Dir: dir, Logger: telemetry.Discard(), FS: ffs, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ffs
+}
+
+// reopenClean reopens dir on the real filesystem and returns the store.
+func reopenClean(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, Logger: telemetry.Discard(), SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAppendWriteErrorPoisonsStore: a failed append-path write latches
+// ErrPoisoned — the store fails fast on every later write instead of
+// appending after a possibly-torn frame — and a reopen recovers exactly
+// the acknowledged appends.
+func TestAppendWriteErrorPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir, FaultPlan{Seed: 1, WriteErrorRate: 1})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(mkTask(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.Arm()
+	if _, err := s.Append(mkTask(rng, 4)); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("append under write fault: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after failed append")
+	}
+	// Every later write fails fast with ErrPoisoned, even ones that
+	// would now succeed; reads still serve from memory.
+	ffs.Disarm()
+	if _, err := s.Append(mkTask(rng, 4)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned store: %v", err)
+	}
+	if err := s.SetVerdicts(map[uint64]bool{1: true}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("verdict write on poisoned store: %v", err)
+	}
+	if _, err := s.ApplyFrames([]Frame{{Seq: 99}}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("apply frames on poisoned store: %v", err)
+	}
+	if s.Version() != 3 || s.Len() != 3 {
+		t.Fatalf("poisoned store serves version %d len %d, want 3/3", s.Version(), s.Len())
+	}
+	s.Close()
+
+	re := reopenClean(t, dir)
+	if re.Version() != 3 || re.Len() != 3 {
+		t.Fatalf("reopen recovered version %d len %d, want 3/3", re.Version(), re.Len())
+	}
+	if re.Recovery().Truncated {
+		t.Fatal("reopen found a torn tail; the failed append leaked bytes")
+	}
+}
+
+// TestShortWriteNeverAcknowledgedHalfFrame: a torn write (strict prefix
+// persisted) fails the append, poisons the store, and the half-frame is
+// chopped back off — no acknowledged append is ever half-written.
+func TestShortWriteNeverAcknowledgedHalfFrame(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir, FaultPlan{Seed: 7, ShortWriteRate: 1})
+	rng := rand.New(rand.NewSource(2))
+	var acked uint64
+	for i := 0; i < 5; i++ {
+		v, err := s.Append(mkTask(rng, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = v
+	}
+	ffs.Arm()
+	if _, err := s.Append(mkTask(rng, 4)); !errors.Is(err, ErrInjectedShort) {
+		t.Fatalf("append under short-write fault: %v", err)
+	}
+	if got := ffs.Injected("short-write"); got != 1 {
+		t.Fatalf("short-write injections = %d, want 1", got)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after torn write")
+	}
+	s.Close()
+
+	re := reopenClean(t, dir)
+	if re.Version() != acked || re.Len() != int(acked) {
+		t.Fatalf("reopen recovered version %d len %d, want %d acknowledged appends",
+			re.Version(), re.Len(), acked)
+	}
+	if re.Recovery().Truncated {
+		t.Fatal("recovery truncated a tail: poisoning left the torn frame on disk")
+	}
+}
+
+// TestSyncErrorPoisonsStore: fsync failure is as fatal as a failed
+// write — the kernel may or may not have flushed, so the frame cannot
+// be acknowledged.
+func TestSyncErrorPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir, FaultPlan{Seed: 3, SyncErrorRate: 1})
+	rng := rand.New(rand.NewSource(3))
+	if _, err := s.Append(mkTask(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm()
+	if _, err := s.Append(mkTask(rng, 4)); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("append under sync fault: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after failed fsync")
+	}
+	s.Close()
+	if re := reopenClean(t, dir); re.Version() != 1 {
+		t.Fatalf("reopen recovered version %d, want 1", re.Version())
+	}
+}
+
+// TestSnapshotCompactionFailureSurfaces: a rename failure during
+// compaction must not be swallowed — the append that triggered it still
+// succeeds (it is already durable), CompactionError reports the
+// failure, the old snapshot stays authoritative, and the next
+// compaction retries.
+func TestSnapshotCompactionFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, FaultPlan{Seed: 5, RenameErrorRate: 1})
+	ffs.Disarm()
+	s, err := Open(Options{Dir: dir, Logger: telemetry.Discard(), FS: ffs, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(mkTask(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.Arm()
+	// The 4th append crosses SnapshotEvery; compaction fails on the
+	// rename but the append itself must succeed.
+	v, err := s.Append(mkTask(rng, 4))
+	if err != nil {
+		t.Fatalf("append with failing compaction: %v", err)
+	}
+	if v != 4 {
+		t.Fatalf("append returned version %d, want 4", v)
+	}
+	if s.CompactionError() == nil {
+		t.Fatal("compaction failure not surfaced through CompactionError")
+	}
+	if got := ffs.Injected("rename"); got == 0 {
+		t.Fatal("no rename fault injected")
+	}
+	if s.Poisoned() != nil {
+		t.Fatal("compaction failure must not poison the store (append is durable)")
+	}
+	// The next compaction (faults disarmed) retries and clears the error.
+	ffs.Disarm()
+	if _, err := s.Append(mkTask(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactionError(); err != nil {
+		t.Fatalf("compaction error not cleared after successful retry: %v", err)
+	}
+	s.Close()
+
+	if re := reopenClean(t, dir); re.Version() != 5 || re.Len() != 5 {
+		t.Fatalf("reopen recovered version %d len %d, want 5/5", re.Version(), re.Len())
+	}
+}
+
+// TestENOSPCFailsFastAndRecovers: once the byte budget is exhausted
+// every write fails with the injected ENOSPC; acknowledged appends
+// survive the reopen.
+func TestENOSPCFailsFastAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, FaultPlan{Seed: 9, ENOSPCAfter: 1})
+	ffs.Disarm()
+	s, err := Open(Options{Dir: dir, Logger: telemetry.Discard(), FS: ffs, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := s.Append(mkTask(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm()
+	// The 1-byte budget admits one more write (charged before the
+	// threshold trips), then the disk is full.
+	if _, err := s.Append(mkTask(rng, 4)); err != nil {
+		t.Fatalf("append within ENOSPC budget: %v", err)
+	}
+	if _, err := s.Append(mkTask(rng, 4)); !errors.Is(err, ErrInjectedNoSpc) {
+		t.Fatalf("append past ENOSPC budget: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("ENOSPC write failure did not poison the store")
+	}
+	s.Close()
+	re := reopenClean(t, dir)
+	if re.Version() != 2 || re.Len() != 2 {
+		t.Fatalf("reopen recovered version %d len %d, want the 2 acknowledged appends", re.Version(), re.Len())
+	}
+	if re.Recovery().Truncated {
+		t.Fatal("reopen found a torn tail after ENOSPC")
+	}
+}
+
+// TestVerdictWriteFailurePoisons: the verdict sidecar shares the
+// poison discipline — a failed verdict write never half-persists.
+func TestVerdictWriteFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir, FaultPlan{Seed: 11, WriteErrorRate: 1})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(mkTask(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetVerdicts(map[uint64]bool{1: true}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm()
+	if err := s.SetVerdicts(map[uint64]bool{2: true}); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("verdict write under fault: %v", err)
+	}
+	if s.Poisoned() == nil {
+		t.Fatal("store not poisoned after failed verdict write")
+	}
+	s.Close()
+	re := reopenClean(t, dir)
+	verdicts := re.Verdicts()
+	if len(verdicts) != 1 || !verdicts[1] {
+		t.Fatalf("reopen verdicts = %v, want exactly {1:true}", verdicts)
+	}
+}

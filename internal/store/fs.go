@@ -1,0 +1,63 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts every file operation the store performs, so tests can
+// slide a fault injector (FaultFS) under the exact production code
+// paths: append, fsync, snapshot temp-file install, recovery replay.
+// The default implementation is the real filesystem (osFS).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens name with os.OpenFile semantics. Opening a missing
+	// file without O_CREATE must return an error satisfying
+	// errors.Is(err, os.ErrNotExist).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir with os.CreateTemp
+	// pattern semantics (the snapshot staging file).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the store's view of one open file: sequential reads for
+// recovery, appends plus fsync for the logs, truncate/seek for tail
+// repair and compaction.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the default FS backed by package os.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }

@@ -137,6 +137,9 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 	if s.closed {
 		return 0, ErrClosed
 	}
+	if s.poisoned != nil {
+		return 0, fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
+	}
 	type applied struct {
 		seq   uint64
 		task  dpprior.TaskPosterior
@@ -173,13 +176,16 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 	}
 	if s.logF != nil {
 		if _, err := s.logF.Write(raw); err != nil {
+			s.poisonLocked(err)
 			return 0, fmt.Errorf("store: apply frames: %w", err)
 		}
 		if !s.opts.NoSync {
 			if err := s.logF.Sync(); err != nil {
+				s.poisonLocked(err)
 				return 0, fmt.Errorf("store: sync applied frames: %w", err)
 			}
 		}
+		s.logSize += int64(len(raw))
 		telemetry.StoreLogBytes.Add(float64(len(raw)))
 	}
 	invalid := 0
@@ -204,6 +210,8 @@ func (s *Store) ApplyFrames(frames []Frame) (uint64, error) {
 	telemetry.StoreTasks.Set(float64(len(s.tasks)))
 	if s.logF != nil && s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
 		if err := s.snapshotLocked(); err != nil {
+			s.compactErr = err
+			telemetry.StoreSnapshotFailures.Inc()
 			s.logger.Warn("store: snapshot compaction failed", "err", err)
 		}
 	}

@@ -49,9 +49,12 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
 	"os"
@@ -102,6 +105,9 @@ type Options struct {
 	// leader ship its recent log to followers without re-encoding each
 	// record per pull.
 	FrameCacheSize int
+	// FS overrides the filesystem the store uses (nil = the real one).
+	// Tests slide a FaultFS here to run the store under disk chaos.
+	FS FS
 }
 
 // RecoveryInfo reports what Open found on disk.
@@ -118,6 +124,7 @@ type RecoveryInfo struct {
 type Store struct {
 	opts   Options
 	logger *slog.Logger
+	fs     FS
 
 	mu        sync.Mutex
 	tasks     []dpprior.TaskPosterior
@@ -125,10 +132,38 @@ type Store struct {
 	verdicts  map[uint64]bool
 	version   uint64 // == total tasks appended, ever
 	sinceSnap int    // records in the log since the last snapshot
-	logF      *os.File
-	verdictF  *os.File
-	closed    bool
-	recovery  RecoveryInfo
+	// snapVersion is the version the on-disk snapshot covers (0 = no
+	// snapshot): the floor below which the log owes no frames. The
+	// scrubber pulls repairs from here when the log's very first frame
+	// is the corrupt one.
+	snapVersion uint64
+	logF        File
+	verdictF    File
+	closed      bool
+	recovery    RecoveryInfo
+
+	// logSize / verdictSize are the logical end offsets of the two logs:
+	// the byte after the last fully acknowledged frame. A failed append
+	// truncates back to them; the scrubber walks exactly [0, size).
+	logSize     int64
+	verdictSize int64
+	// verdictsTruncated remembers that recovery chopped a corrupt tail
+	// off the verdict sidecar — evidence verdicts may be lost. The next
+	// scrub pass with a repair source reconciles against the replica set
+	// and clears it; without the flag a clean-looking (shorter) sidecar
+	// would hide the loss, and reconciling every pass would put network
+	// pulls on the scrub cadence.
+	verdictsTruncated bool
+
+	// poisoned latches the first append-path write/sync failure: once a
+	// frame may be torn on disk, every further write fails fast with
+	// ErrPoisoned instead of appending after garbage. Reads still serve;
+	// reopening the store recovers cleanly (recovery truncates the tear).
+	poisoned error
+	// compactErr is the last snapshot-compaction failure (nil after a
+	// success); surfaced through CompactionError so operators see failed
+	// compactions instead of a silently growing log.
+	compactErr error
 
 	// frameCache holds recently encoded log frames by sequence number,
 	// evicted FIFO by frameSeqs. Entries are immutable once cached (the
@@ -168,15 +203,19 @@ func Open(opts Options) (*Store, error) {
 	if opts.MaxRecordBytes <= 0 {
 		opts.MaxRecordBytes = DefaultMaxRecordBytes
 	}
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
 	s := &Store{
 		opts:     opts,
 		logger:   telemetry.OrDefault(opts.Logger),
+		fs:       opts.FS,
 		verdicts: make(map[uint64]bool),
 	}
 	if opts.Dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	if err := s.loadSnapshot(); err != nil {
@@ -204,18 +243,44 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
+// snapshotMagic trails a checksummed snapshot file:
+// [gob payload][4-byte IEEE CRC32 of payload][magic]. Legacy snapshots
+// (no trailer) still load; they just cannot be integrity-checked.
+var snapshotMagic = []byte("SCRC")
+
+// decodeSnapshot reads one snapshot file, verifying the CRC trailer
+// when present. Any decode or checksum failure reports the file corrupt.
+func decodeSnapshot(f File) (snapshotFile, error) {
+	var snap snapshotFile
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return snap, err
+	}
+	if n := len(raw); n >= 8 && bytes.Equal(raw[n-4:], snapshotMagic) {
+		payload := raw[:n-8]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[n-8:n-4]) {
+			return snap, errors.New("snapshot checksum mismatch")
+		}
+		raw = payload
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
 func (s *Store) loadSnapshot() error {
 	path := filepath.Join(s.opts.Dir, snapshotName)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil && os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: open snapshot: %w", err)
 	}
 	defer f.Close()
-	var snap snapshotFile
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+	snap, err := decodeSnapshot(f)
+	if err != nil {
 		return fmt.Errorf("store: snapshot %s is corrupt (delete it to start cold): %w", path, err)
 	}
 	if uint64(len(snap.Tasks)) > snap.Version {
@@ -247,6 +312,7 @@ func (s *Store) loadSnapshot() error {
 		s.verdicts[seq] = q
 	}
 	s.version = snap.Version
+	s.snapVersion = snap.Version
 	s.recovery.SnapshotTasks = len(snap.Tasks)
 	return nil
 }
@@ -255,7 +321,7 @@ func (s *Store) loadSnapshot() error {
 // version and truncating the first torn or corrupt tail it hits.
 func (s *Store) replayLog() error {
 	path := filepath.Join(s.opts.Dir, logName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: open log: %w", err)
 	}
@@ -304,6 +370,7 @@ func (s *Store) replayLog() error {
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return fmt.Errorf("store: seek log end: %w", err)
 	}
+	s.logSize = offset
 	return nil
 }
 
@@ -342,12 +409,63 @@ func (s *Store) View() ([]dpprior.TaskPosterior, uint64) {
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrPoisoned reports a write on a store whose log hit an append-path
+// write or fsync failure. The store refuses further writes (reads still
+// serve from memory) because the log may end in a torn frame; reopening
+// the store recovers cleanly — recovery truncates the tear.
+var ErrPoisoned = errors.New("store: poisoned by earlier append failure")
+
+// poisonLocked latches the first append-path failure and tries to chop
+// the possibly-torn frame back off the log so even a crash before the
+// reopen leaves a clean tail. Caller holds s.mu.
+func (s *Store) poisonLocked(cause error) {
+	if s.poisoned != nil {
+		return
+	}
+	s.poisoned = cause
+	telemetry.StorePoisoned.Inc()
+	if s.logF != nil {
+		if err := s.logF.Truncate(s.logSize); err == nil {
+			s.logF.Seek(s.logSize, io.SeekStart)
+		}
+	}
+	if s.verdictF != nil {
+		if err := s.verdictF.Truncate(s.verdictSize); err == nil {
+			s.verdictF.Seek(s.verdictSize, io.SeekStart)
+		}
+	}
+	s.logger.Error("store: write failure poisoned the store; reopen to recover", "err", cause)
+}
+
+// Poisoned returns the failure that poisoned the store (nil = healthy).
+func (s *Store) Poisoned() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisoned
+}
+
+// CompactionError returns the most recent snapshot-compaction failure
+// (nil after a success). Compaction failures do not fail the append that
+// triggered them — the append is already durable — but they must not be
+// invisible either.
+func (s *Store) CompactionError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactErr
+}
+
 // Append durably appends one task and returns the new store version.
+// No half-frame is ever acknowledged: a write or fsync failure poisons
+// the store (ErrPoisoned on every later write) rather than letting the
+// running process append after a torn frame.
 func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, ErrClosed
+	}
+	if s.poisoned != nil {
+		return 0, fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
 	}
 	seq := s.version + 1
 	if s.logF != nil {
@@ -356,13 +474,16 @@ func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
 			return 0, err
 		}
 		if _, err := s.logF.Write(frame); err != nil {
+			s.poisonLocked(err)
 			return 0, fmt.Errorf("store: append: %w", err)
 		}
 		if !s.opts.NoSync {
 			if err := s.logF.Sync(); err != nil {
+				s.poisonLocked(err)
 				return 0, fmt.Errorf("store: sync log: %w", err)
 			}
 		}
+		s.logSize += int64(len(frame))
 		telemetry.StoreLogBytes.Add(float64(len(frame)))
 		// The frame is already encoded; remembering it makes the next
 		// replication pull a copy-free cache hit. (Memory-only stores
@@ -378,7 +499,11 @@ func (s *Store) Append(t dpprior.TaskPosterior) (uint64, error) {
 	if s.logF != nil && s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
 		if err := s.snapshotLocked(); err != nil {
 			// The append itself is durable; compaction just didn't happen.
-			// Surface it in logs and retry on the next append.
+			// The old snapshot stays authoritative. Latch the error (it is
+			// CompactionError until a compaction succeeds), count it, and
+			// retry on the next append.
+			s.compactErr = err
+			telemetry.StoreSnapshotFailures.Inc()
 			s.logger.Warn("store: snapshot compaction failed", "err", err)
 		}
 	}
@@ -393,6 +518,9 @@ func (s *Store) Snapshot() error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.poisoned != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
+	}
 	if s.logF == nil {
 		return nil
 	}
@@ -401,21 +529,36 @@ func (s *Store) Snapshot() error {
 
 func (s *Store) snapshotLocked() error {
 	// Write the snapshot beside its target and rename over it, so a crash
-	// mid-write never tears the previous snapshot. The log is truncated
-	// only after the new snapshot is durable; a crash in between is
-	// handled by sequence-number skipping on replay.
-	tmp, err := os.CreateTemp(s.opts.Dir, ".snapshot-*")
+	// mid-write never tears the previous snapshot — and so ANY failure on
+	// the temp-file path (encode, fsync, close, rename) leaves the old
+	// snapshot authoritative: the error propagates, the temp file is
+	// removed, nothing on disk changed. The log is truncated only after
+	// the new snapshot is durable; a crash in between is handled by
+	// sequence-number skipping on replay.
+	tmp, err := s.fs.CreateTemp(s.opts.Dir, ".snapshot-*")
 	if err != nil {
 		return fmt.Errorf("store: snapshot temp: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name())
 	snap := snapshotFile{Version: s.version, Tasks: s.tasks, Seqs: s.seqs}
 	if len(s.verdicts) > 0 {
 		snap.Verdicts = s.verdicts
 	}
-	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	// Trailer: CRC over the payload, then the magic. The scrubber (and
+	// every future load) can prove the snapshot intact instead of hoping
+	// gob notices.
+	var trailer [8]byte
+	binary.BigEndian.PutUint32(trailer[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(trailer[4:], snapshotMagic)
+	payload.Write(trailer[:])
+	if _, err := tmp.Write(payload.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
 	}
 	if !s.opts.NoSync {
 		if err := tmp.Sync(); err != nil {
@@ -426,7 +569,7 @@ func (s *Store) snapshotLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.opts.Dir, snapshotName)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(s.opts.Dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: install snapshot: %w", err)
 	}
 	if err := s.logF.Truncate(0); err != nil {
@@ -435,6 +578,7 @@ func (s *Store) snapshotLocked() error {
 	if _, err := s.logF.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: rewind log: %w", err)
 	}
+	s.logSize = 0
 	if s.verdictF != nil {
 		// Verdicts are folded into the snapshot; the sidecar restarts empty.
 		if err := s.verdictF.Truncate(0); err != nil {
@@ -443,8 +587,11 @@ func (s *Store) snapshotLocked() error {
 		if _, err := s.verdictF.Seek(0, io.SeekStart); err != nil {
 			return fmt.Errorf("store: rewind verdict log: %w", err)
 		}
+		s.verdictSize = 0
 	}
 	s.sinceSnap = 0
+	s.snapVersion = s.version
+	s.compactErr = nil
 	telemetry.StoreSnapshots.Inc()
 	return nil
 }

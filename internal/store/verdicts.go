@@ -27,7 +27,7 @@ type verdictRecord struct {
 // store has never issued is dropped (it cannot refer to a real task).
 func (s *Store) loadVerdicts() error {
 	path := filepath.Join(s.opts.Dir, verdictLogName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: open verdict log: %w", err)
 	}
@@ -47,6 +47,7 @@ func (s *Store) loadVerdicts() error {
 			}
 			s.recovery.Truncated = true
 			s.recovery.TruncatedBytes += end - offset
+			s.verdictsTruncated = true
 			if terr := f.Truncate(offset); terr != nil {
 				return fmt.Errorf("store: truncate verdict log tail: %w", terr)
 			}
@@ -61,6 +62,7 @@ func (s *Store) loadVerdicts() error {
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return fmt.Errorf("store: seek verdict log end: %w", err)
 	}
+	s.verdictSize = offset
 	return nil
 }
 
@@ -77,6 +79,9 @@ func (s *Store) SetVerdicts(verdicts map[uint64]bool) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.poisoned != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
 	}
 	seqs := make([]uint64, 0, len(verdicts))
 	for seq := range verdicts {
@@ -96,13 +101,16 @@ func (s *Store) SetVerdicts(verdicts map[uint64]bool) error {
 			frames = append(frames, frame...)
 		}
 		if _, err := s.verdictF.Write(frames); err != nil {
+			s.poisonLocked(err)
 			return fmt.Errorf("store: append verdicts: %w", err)
 		}
 		if !s.opts.NoSync {
 			if err := s.verdictF.Sync(); err != nil {
+				s.poisonLocked(err)
 				return fmt.Errorf("store: sync verdict log: %w", err)
 			}
 		}
+		s.verdictSize += int64(len(frames))
 	}
 	for _, seq := range seqs {
 		s.verdicts[seq] = verdicts[seq]

@@ -180,6 +180,26 @@ var (
 	StoreFrameCacheHits   = Default.Counter("drdp_store_frame_cache_hits_total")
 	StoreFrameCacheMisses = Default.Counter("drdp_store_frame_cache_misses_total")
 
+	// --- disk faults, scrubbing, gray failure -------------------------
+	// Append-path write/sync failures latch the store read-only
+	// (ErrPoisoned); compaction failures leave the old snapshot
+	// authoritative and are retried.
+	StorePoisoned         = Default.Counter("drdp_store_poisoned_total")
+	StoreSnapshotFailures = Default.Counter("drdp_store_snapshot_failures_total")
+	// Scrubber: frames CRC-walked, frames found corrupt (quarantined),
+	// frames repaired from a replica's verbatim log stream.
+	StoreScrubFrames   = Default.Counter("drdp_store_scrub_frames_total")
+	StoreScrubCorrupt  = Default.Counter("drdp_store_scrub_corrupt_total")
+	StoreScrubRepaired = Default.Counter("drdp_store_scrub_repaired_total")
+	// Hedged reads: second requests fired after the hedge delay, hedges
+	// whose answer won the race, and losers abandoned after a winner.
+	ClusterHedgeFired     = Default.Counter("drdp_cluster_hedge_fired_total")
+	ClusterHedgeWon       = Default.Counter("drdp_cluster_hedge_won_total")
+	ClusterHedgeCancelled = Default.Counter("drdp_cluster_hedge_cancelled_total")
+	// Gray-failure demotions: slow-but-alive leaders replaced by a
+	// healthy follower (distinct from promotions after a leader death).
+	ClusterDemotions = Default.Counter("drdp_cluster_demotions_total")
+
 	// --- regional aggregator tier -------------------------------------
 	// Upward sync: each flush summarizes the window of locally admitted
 	// device posteriors into a component set and ships that instead, so
@@ -204,6 +224,20 @@ var (
 // so one scrape shows the whole replica set.
 func ReplLagGauge(node string) *Gauge {
 	return Default.Gauge("drdp_repl_lag_seq", L("node", node))
+}
+
+// StoreFaultInjected counts injected disk faults by kind ("write",
+// "short-write", "sync", "rename", "enospc", "bit-flip") — the FaultFS
+// chaos suite's ground truth for what the store survived.
+func StoreFaultInjected(kind string) *Counter {
+	return Default.Counter("drdp_store_fault_injected_total", L("kind", kind))
+}
+
+// ReplicaHealthGauge is the coordinator's per-replica health score in
+// [0,1]: 1 = probes answer inside the gray-latency budget, falling
+// toward 0 as the probe-latency EWMA exceeds it, 0 = probes failing.
+func ReplicaHealthGauge(node string) *Gauge {
+	return Default.Gauge("drdp_cluster_replica_health_score", L("node", node))
 }
 
 // ServerReqCounter maps a protocol request-kind name (RequestKind
@@ -401,6 +435,17 @@ func init() {
 		"drdp_region_gossip_exchanges_total":        "Region-to-region gossip pulls completed.",
 		"drdp_region_gossip_components_total":       "Peer prior components injected locally by gossip.",
 		"drdp_region_gossip_errors_total":           "Gossip pulls that failed (peer unreachable or serving no prior).",
+		"drdp_store_poisoned_total":                 "Stores latched read-only after an append-path write/sync failure (reopen recovers).",
+		"drdp_store_snapshot_failures_total":        "Snapshot compactions that failed (old snapshot stays authoritative; retried).",
+		"drdp_store_scrub_frames_total":             "Log and sidecar frames CRC-verified by the integrity scrubber.",
+		"drdp_store_scrub_corrupt_total":            "Frames the scrubber found corrupt and quarantined.",
+		"drdp_store_scrub_repaired_total":           "Quarantined frames repaired verbatim from a replica's log stream.",
+		"drdp_store_fault_injected_total":           "Disk faults injected by the FaultFS chaos layer, by kind.",
+		"drdp_cluster_hedge_fired_total":            "Hedged second read requests fired after the hedge delay.",
+		"drdp_cluster_hedge_won_total":              "Hedged reads whose second request answered first.",
+		"drdp_cluster_hedge_cancelled_total":        "Hedge losers abandoned after the winning answer arrived.",
+		"drdp_cluster_demotions_total":              "Gray-failure demotions: slow-but-alive leaders replaced by a follower.",
+		"drdp_cluster_replica_health_score":         "Coordinator probe health per replica: 1 healthy, toward 0 as latency EWMA exceeds the gray budget, 0 failing.",
 	} {
 		Default.SetHelp(name, help)
 	}
