@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/drdp/drdp/internal/edge"
 	"github.com/drdp/drdp/internal/telemetry"
 )
 
@@ -206,5 +207,73 @@ func TestHedgedReadsCoverSlowReplica(t *testing.T) {
 	// ownership returned correctly after the hedge).
 	if _, err := hedged.FetchMergedPrior(dim); err != nil {
 		t.Fatalf("second hedged fetch: %v", err)
+	}
+}
+
+// TestHedgeFiresOnIndecisivePrimary: on a 2-replica shard whose
+// follower (first in read order) is dead, the primary hedge leg
+// settles indecisively — an immediate connection-refused — long before
+// the hedge delay. The secondary must fire right then rather than
+// never: with only two replicas there is no sequential fallback after
+// the hedge, so skipping the leg would fail the read "shard
+// unreachable" even though the leader is healthy.
+func TestHedgeFiresOnIndecisivePrimary(t *testing.T) {
+	cl, err := Start(fastConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const dim = 3
+	up := dialTest(cl.CoordinatorAddr())
+	defer up.Close()
+	for i, task := range makeTasks(406, 6, dim) {
+		if _, err := up.ReportTask(task); err != nil {
+			t.Fatalf("report task %d: %v", i, err)
+		}
+	}
+	if !cl.Quiesce(5 * time.Second) {
+		t.Fatal("cluster did not quiesce")
+	}
+	control := dialTest(cl.CoordinatorAddr())
+	defer control.Close()
+	wantPrior, err := control.FetchMergedPrior(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the follower. The coordinator only probes leaders, so the dead
+	// node stays first in the read order.
+	follower := cl.Node(0, 1)
+	if follower == cl.LeaderOf(0) {
+		follower = cl.Node(0, 0)
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := telemetry.ClusterHedgeFired.Value()
+	hedged := DialSharded(cl.CoordinatorAddr(), edge.ResilientOptions{
+		// One attempt per leg: the dead-follower leg settles (refused)
+		// in microseconds, far inside the hedge delay.
+		Retry:  edge.RetryPolicy{MaxAttempts: 1},
+		Seed:   1,
+		Logger: telemetry.Discard(),
+	})
+	defer hedged.Close()
+	hedged.SetHedge(HedgeConfig{Delay: 2 * time.Second})
+	start := time.Now()
+	gotPrior, err := hedged.FetchMergedPrior(dim)
+	if err != nil {
+		t.Fatalf("hedged read with dead follower: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("read took %v: the hedge waited out the delay instead of firing on the indecisive primary", elapsed)
+	}
+	if telemetry.ClusterHedgeFired.Value() <= fired {
+		t.Fatal("hedge never fired for the dead primary")
+	}
+	if !bytes.Equal(gobBytes(t, wantPrior), gobBytes(t, gotPrior)) {
+		t.Fatal("hedged prior differs from control prior")
 	}
 }

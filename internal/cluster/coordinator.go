@@ -448,6 +448,8 @@ func (co *Coordinator) failover(shard int) {
 	co.m.Version++
 	sp.SetAttr(trace.Int("map-version", int64(co.m.Version)))
 	co.failures[shard] = 0
+	co.grayCount[shard] = 0
+	co.ewma[shard] = 0 // the new leader starts with a fresh latency history
 	telemetry.ClusterPromotions.Inc()
 	co.logger.Warn("cluster: leader failover",
 		"shard", shard, "dead", deadAddr, "promoted", promoted.Name(),

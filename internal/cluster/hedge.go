@@ -15,8 +15,9 @@ import (
 // routed to it for a full round-trip timeout, long before the
 // coordinator's EWMA demotes it. The client covers that window itself:
 // if the first replica has not answered within a delay derived from its
-// own recent read latencies, the same fetch is fired at a second
-// replica and the first valid answer wins. Validity is version-gated by
+// own recent read latencies — or settles indecisively before the delay
+// elapses — the same fetch is fired at a second replica and the first
+// valid answer wins. Validity is version-gated by
 // the same read-your-writes floor as sequential reads (MinVersion), so
 // a hedge can never win with a prior the client has already moved past
 // — CodeLagging answers are indecisive and the hedge keeps waiting.
@@ -168,6 +169,17 @@ func (c *ShardedClient) hedgedFetch(shard, dim int, addrs []string, floor uint64
 		// trip goes straight back into the pool.
 		c.conns[r.addr] = r.rc
 	}
+	fire := func(reason string) {
+		fired = true
+		outstanding++
+		telemetry.ClusterHedgeFired.Inc()
+		if c.op != nil {
+			c.op.Event("hedge-fired", trace.Str("replica", addrs[1]),
+				trace.Str("reason", reason),
+				trace.Int("delay-us", int64(delay/time.Microsecond)))
+		}
+		go fetch(addrs[1], secondary, true)
+	}
 	for outstanding > 0 && winner == nil {
 		if fired {
 			settle(<-results)
@@ -176,15 +188,16 @@ func (c *ShardedClient) hedgedFetch(shard, dim int, addrs []string, floor uint64
 		select {
 		case r := <-results:
 			settle(r)
-		case <-timer.C:
-			fired = true
-			outstanding++
-			telemetry.ClusterHedgeFired.Inc()
-			if c.op != nil {
-				c.op.Event("hedge-fired", trace.Str("replica", addrs[1]),
-					trace.Int("delay-us", int64(delay/time.Microsecond)))
+			if winner == nil {
+				// The primary settled indecisively (lagging follower, fast
+				// connection refusal) before the timer: waiting out the rest
+				// of the delay buys nothing, and returning without ever
+				// trying the secondary would skip a replica the fallback
+				// scan no longer covers. Fire the hedge now.
+				fire("primary-indecisive")
 			}
-			go fetch(addrs[1], secondary, true)
+		case <-timer.C:
+			fire("delay")
 		}
 	}
 	if !fired {

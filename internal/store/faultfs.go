@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"syscall"
 
 	"github.com/drdp/drdp/internal/telemetry"
 )
@@ -18,15 +19,17 @@ import (
 // syscall succeeded) — from a seeded RNG, so a failing chaos run
 // replays exactly under the same seed.
 
-// Injected fault errors. They wrap os-level sentinels where one exists
-// so production error handling (errors.Is) treats them like the real
-// thing.
+// Injected fault errors. ErrInjectedNoSpc wraps the os-level sentinel
+// (syscall.ENOSPC) so production error handling keyed on
+// errors.Is(err, syscall.ENOSPC) treats the injected fault like the
+// real thing; the others have no single canonical errno and stay
+// package-local sentinels.
 var (
 	ErrInjectedWrite  = errors.New("faultfs: injected write error")
 	ErrInjectedShort  = errors.New("faultfs: injected short write")
 	ErrInjectedSync   = errors.New("faultfs: injected fsync error")
 	ErrInjectedRename = errors.New("faultfs: injected rename error")
-	ErrInjectedNoSpc  = fmt.Errorf("faultfs: injected: %w", errors.New("no space left on device"))
+	ErrInjectedNoSpc  = fmt.Errorf("faultfs: injected: %w", syscall.ENOSPC)
 )
 
 // FaultPlan configures a FaultFS. Rates are per-operation probabilities

@@ -181,19 +181,32 @@ func (s *Store) Scrub(src RepairSource) (ScrubReport, error) {
 		return rep, ErrClosed
 	}
 	if logPlan != nil {
-		if s.logSize == logPlan.logSize && s.version == logPlan.upTo {
+		switch {
+		case s.logSize != logPlan.logSize || s.version != logPlan.upTo:
+			s.logger.Warn("store: scrub: log changed during repair pull; retrying next pass",
+				"dir", s.opts.Dir, "walked-bytes", logPlan.logSize, "log-bytes", s.logSize)
+		case !framesCover(frames, s.seqsAboveLocked(logPlan.lastGood)):
+			// The source could not supply the whole quarantined range (its
+			// log trails ours, or compaction moved past lastGood). Splicing
+			// the partial pull would truncate acknowledged frames off the
+			// disk image and leave the on-disk log ending before the
+			// in-memory state — a restart from that image would silently
+			// lose the missing tail. Leave the quarantined bytes in place
+			// for the next pass; memory keeps serving the full state.
+			s.logger.Error("store: scrub: repair source lacks quarantined frames; tail at risk until a peer can supply them",
+				"dir", s.opts.Dir, "pulled", len(frames),
+				"needed", len(s.seqsAboveLocked(logPlan.lastGood)),
+				"from", rep.QuarantinedFrom, "to", rep.QuarantinedTo)
+		default:
 			if err := s.spliceTailLocked(logPlan.offset, frames); err != nil {
 				return rep, err
 			}
 			rep.RepairedFrames = len(frames)
-			rep.Repaired = len(frames) >= len(s.seqsAboveLocked(logPlan.lastGood))
+			rep.Repaired = true
 			telemetry.StoreScrubRepaired.Add(float64(len(frames)))
 			s.logger.Info("store: scrub repaired log from replica",
 				"dir", s.opts.Dir, "frames", len(frames),
-				"from", rep.QuarantinedFrom, "to", rep.QuarantinedTo, "repaired", rep.Repaired)
-		} else {
-			s.logger.Warn("store: scrub: log changed during repair pull; retrying next pass",
-				"dir", s.opts.Dir, "walked-bytes", logPlan.logSize, "log-bytes", s.logSize)
+				"from", rep.QuarantinedFrom, "to", rep.QuarantinedTo)
 		}
 	}
 	if verdictsCorrupt {
@@ -209,18 +222,56 @@ func (s *Store) Scrub(src RepairSource) (ScrubReport, error) {
 	return rep, nil
 }
 
+// framesCover reports whether the pulled frames carry exactly the
+// sequence numbers a full repair needs (pullRange already verified
+// CRCs and strict ascent, so an element-wise compare suffices).
+func framesCover(frames []Frame, want []uint64) bool {
+	if len(frames) != len(want) {
+		return false
+	}
+	for i, fr := range frames {
+		if fr.Seq != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // finishScrubLocked publishes the pass's frame count and clears poison
 // if the walk proved the on-disk state clean. Caller holds s.mu.
 func (s *Store) finishScrubLocked(rep *ScrubReport) {
 	telemetry.StoreScrubFrames.Add(float64(rep.FramesChecked + rep.VerdictFrames))
-	if s.poisoned != nil && (rep.CorruptFrames == 0 || rep.Repaired) && !rep.VerdictCorrupt {
-		// The walk re-verified every byte up to the logical end, and the
-		// poisoning already chopped the torn tail beyond it; the store is
-		// safe to write again.
-		s.poisoned = nil
-		rep.PoisonCleared = true
-		s.logger.Info("store: scrub cleared poisoned state", "dir", s.opts.Dir)
+	if s.poisoned == nil || (rep.CorruptFrames != 0 && !rep.Repaired) || rep.VerdictCorrupt {
+		return
 	}
+	// The walk re-verified every byte up to the logical end, and the
+	// poisoning already chopped the torn tail beyond it. But a re-read
+	// goes through the page cache and proves nothing about durability:
+	// after a failed fsync the kernel may have dropped dirty pages whose
+	// writes reported success. So clearing also requires a fresh
+	// successful fsync over the verified bytes — if the disk still
+	// refuses to sync, the poison stays and reopen is the way out.
+	// Residual caveat: kernels that clear the error state on the first
+	// failed fsync can let a later fsync succeed without the dropped
+	// pages ever reaching disk; only a replica-assisted repair
+	// (rep.Repaired) rewrites the bytes themselves.
+	if !s.opts.NoSync {
+		if s.logF != nil {
+			if err := s.logF.Sync(); err != nil {
+				s.logger.Warn("store: scrub: log still failing fsync; poison kept", "err", err)
+				return
+			}
+		}
+		if s.verdictF != nil {
+			if err := s.verdictF.Sync(); err != nil {
+				s.logger.Warn("store: scrub: verdict log still failing fsync; poison kept", "err", err)
+				return
+			}
+		}
+	}
+	s.poisoned = nil
+	rep.PoisonCleared = true
+	s.logger.Info("store: scrub cleared poisoned state", "dir", s.opts.Dir)
 }
 
 // snapshotIntactLocked re-reads and decodes the snapshot file (absent =
@@ -325,8 +376,8 @@ func (s *Store) seqsAboveLocked(after uint64) []uint64 {
 // each one: CRC-valid, the label matching the payload, strictly
 // ascending. Frames beyond upTo are not taken — repair restores state,
 // it does not advance it. The pull stops early (without error) if the
-// source has nothing above the cursor; the caller sees the shortfall as
-// Repaired == false.
+// source has nothing above the cursor; the caller treats the shortfall
+// as an incomplete pull and skips the splice.
 func pullRange(src RepairSource, after, upTo uint64, maxRecordBytes int64) ([]Frame, error) {
 	var out []Frame
 	cursor := after

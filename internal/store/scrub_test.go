@@ -365,6 +365,81 @@ func TestScrubClearsPoison(t *testing.T) {
 	}
 }
 
+// TestScrubSkipsPartialRepair: a repair source that cannot supply the
+// whole quarantined range must not be spliced in — truncating the
+// quarantined tail and appending a partial pull would leave the disk
+// image ending before the in-memory state, silently losing acked
+// frames on the next restart. The pass leaves the bytes alone and a
+// later pass with a caught-up peer repairs fully.
+func TestScrubSkipsPartialRepair(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leader, follower := openPlain(t, leaderDir), openPlain(t, followerDir)
+	laggard := openPlain(t, t.TempDir())
+	defer leader.Close()
+	defer follower.Close()
+	defer laggard.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		if _, err := leader.Append(mkTask(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replicate(t, leader, follower, 0)
+	// The laggard stopped pulling at version 7: it cannot cover the top
+	// of a range quarantined on the follower.
+	for laggard.Version() < 7 {
+		frames, _, err := leader.FramesSince(laggard.Version(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := laggard.ApplyFrames(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rot frame 4 on the follower: frames 5..10 are quarantined, but the
+	// laggard can supply only 5..7.
+	logPath := filepath.Join(followerDir, logName)
+	raw := readFile(t, logPath)
+	off := int64(0)
+	for i := 0; i < 4; i++ {
+		_, n, err := readRecord(bytes.NewReader(raw[off:]), DefaultMaxRecordBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	flipByte(t, logPath, off-2)
+	corrupted := readFile(t, logPath)
+
+	rep, err := follower.Scrub(PeerSource(laggard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired || rep.RepairedFrames != 0 {
+		t.Fatalf("partial pull was spliced: %+v", rep)
+	}
+	if !bytes.Equal(readFile(t, logPath), corrupted) {
+		t.Fatal("partial repair touched the on-disk log")
+	}
+	if follower.Len() != 10 {
+		t.Fatalf("scrub disturbed in-memory state: len %d", follower.Len())
+	}
+
+	// A caught-up peer still repairs the same quarantine byte-identical.
+	rep, err = follower.Scrub(PeerSource(leader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired {
+		t.Fatalf("full repair failed after skipped partial: %+v", rep)
+	}
+	if !bytes.Equal(readFile(t, logPath), readFile(t, filepath.Join(leaderDir, logName))) {
+		t.Fatal("repaired follower log is not byte-identical to the leader's")
+	}
+}
+
 // TestStartScrubber: the background loop detects and repairs rot
 // without outside help.
 func TestStartScrubber(t *testing.T) {
